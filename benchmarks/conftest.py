@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every paper table / figure has a benchmark module that regenerates it at a
+reduced but structurally identical scale (synthetic scenes instead of the
+Sentinel-2 archive, CPU instead of GPUs/Dataproc, calibrated cost models for
+the hardware sweeps).  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the regenerated rows printed next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.workflow import AccuracyExperimentConfig, run_accuracy_experiment
+
+#: Scale knobs of the benchmark workloads.  Increase toward the paper's scale
+#: (66 scenes of 2048², 256-px tiles, depth-5/64-channel U-Net, 50 epochs)
+#: when more compute time is available.
+BENCH_NUM_SCENES = 6
+BENCH_SCENE_SIZE = 256
+BENCH_TILE_SIZE = 64
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Uniform table printer used by every benchmark module."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  " + "  ".join(f"{key}={value}" for key, value in row.items()))
+
+
+def print_paper_vs_measured(title: str, paper_rows: list[dict], measured_rows: list[dict]) -> None:
+    print_rows(f"{title} — paper", paper_rows)
+    print_rows(f"{title} — this reproduction", measured_rows)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """A moderate tile archive used by the auto-labeling scaling benchmarks."""
+    return build_dataset(
+        num_scenes=BENCH_NUM_SCENES,
+        scene_size=BENCH_SCENE_SIZE,
+        tile_size=BENCH_TILE_SIZE,
+        base_seed=42,
+        cloudy_fraction=0.5,
+    )
+
+
+@pytest.fixture(scope="session")
+def accuracy_experiment():
+    """One shared U-Net-Man vs U-Net-Auto experiment (Tables IV, V and Figure 13)."""
+    config = AccuracyExperimentConfig(
+        num_scenes=8,
+        scene_size=128,
+        tile_size=32,
+        cloudy_fraction=0.5,
+        epochs=30,
+        batch_size=8,
+        learning_rate=2e-3,
+        unet_depth=3,
+        unet_base_channels=12,
+        unet_dropout=0.1,
+        seed=7,
+    )
+    return run_accuracy_experiment(config)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,56 @@
+"""Figure 14 — qualitative U-Net predictions against the ground truth.
+
+Paper figure: an original Sentinel-2 tile, its manual ground truth, and the
+U-Net-Man / U-Net-Auto predictions look nearly identical.  Quantitatively,
+this benchmark classifies a fresh held-out scene with both trained models
+(via the full inference workflow of Figure 9: tile → filter → predict →
+stitch) and reports their agreement with the scene's ground truth and with
+each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SceneSpec, synthesize_scene
+from repro.metrics import accuracy_score
+from repro.unet import InferenceConfig, SceneClassifier
+
+from conftest import print_rows
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_scene_predictions(benchmark, accuracy_experiment):
+    tile_size = accuracy_experiment.config.tile_size
+    scene = synthesize_scene(
+        SceneSpec(height=4 * tile_size, width=4 * tile_size, cloud_coverage=0.3, seed=2024)
+    )
+
+    man_classifier = SceneClassifier(
+        model=accuracy_experiment.unet_man,
+        config=InferenceConfig(tile_size=tile_size, apply_cloud_filter=True, batch_size=8),
+    )
+    auto_classifier = SceneClassifier(
+        model=accuracy_experiment.unet_auto,
+        config=InferenceConfig(tile_size=tile_size, apply_cloud_filter=True, batch_size=8),
+    )
+
+    man_prediction = man_classifier.classify_scene(scene.rgb)
+    auto_prediction = benchmark.pedantic(auto_classifier.classify_scene, args=(scene.rgb,), rounds=1, iterations=1)
+
+    man_acc = accuracy_score(scene.class_map, man_prediction)
+    auto_acc = accuracy_score(scene.class_map, auto_prediction)
+    agreement = accuracy_score(man_prediction, auto_prediction)
+    print_rows(
+        "Fig 14: whole-scene inference on a held-out cloudy scene",
+        [
+            {"model": "U-Net-Man", "accuracy_pct": round(man_acc * 100, 2)},
+            {"model": "U-Net-Auto", "accuracy_pct": round(auto_acc * 100, 2)},
+            {"model": "Man vs Auto agreement", "accuracy_pct": round(agreement * 100, 2)},
+        ],
+    )
+
+    # Shape: both models recover most of the scene and broadly agree with each other.
+    assert man_acc > 0.7
+    assert auto_acc > 0.7
+    assert agreement > 0.7

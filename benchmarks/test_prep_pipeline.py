@@ -1,0 +1,45 @@
+"""§IV-C timing — end-to-end auto-labeled training-data preparation.
+
+Paper result: preparing colour-segmented, thin-cloud/shadow-filtered
+auto-labelled data for 66 scenes of 2048×2048 pixels takes 349.26 s
+(≈ 5.3 s per scene).  This benchmark runs the same pipeline (filter →
+colour segmentation → tiling) on synthetic scenes and reports the per-scene
+cost, plus the extrapolation to the paper's 66-scene archive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import run_preparation_pipeline
+
+from conftest import print_rows
+
+PAPER_SECONDS_PER_SCENE = 349.26 / 66.0
+
+
+@pytest.mark.benchmark(group="prep")
+def test_prep_pipeline_timing(benchmark):
+    def run():
+        return run_preparation_pipeline(num_scenes=2, scene_size=512, tile_size=256, seed=1)
+
+    timing = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = timing.summary()
+    # Cost scales with pixel count; extrapolate this run to the paper's scene size.
+    pixels_ratio = (2048 * 2048) / (timing.scene_size * timing.scene_size)
+    extrapolated_per_scene = summary["seconds_per_scene"] * pixels_ratio
+    rows = [
+        {"source": "paper (66 scenes of 2048x2048)", "seconds_per_scene": round(PAPER_SECONDS_PER_SCENE, 2)},
+        {
+            "source": f"this run ({timing.num_scenes} scenes of {timing.scene_size}x{timing.scene_size})",
+            "seconds_per_scene": summary["seconds_per_scene"],
+            "extrapolated_to_2048px": round(extrapolated_per_scene, 2),
+        },
+    ]
+    print_rows("Data-preparation pipeline timing (paper: 349.26 s total)", rows)
+
+    assert timing.num_tiles == 2 * (512 // 256) ** 2
+    assert timing.total_s > 0
+    # The per-scene cost extrapolated to paper-sized scenes should be the same
+    # order of magnitude as the paper's measurement (seconds, not minutes).
+    assert extrapolated_per_scene < 120.0

@@ -1,0 +1,64 @@
+"""Full-scene sea-ice classification (the inference workflow of Figure 9 / Figure 14).
+
+Trains U-Net-Man (manual labels) and U-Net-Auto (auto-labels) on a synthetic
+archive, classifies a held-out cloudy scene with both, and writes the scene,
+its ground truth, and both predictions as PNG-like .npy arrays plus a text
+report so the qualitative comparison of the paper's Figure 14 can be
+inspected.
+
+Run with:  python examples/classify_scene.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.classes import class_map_to_color
+from repro.data import SceneSpec, synthesize_scene
+from repro.metrics import accuracy_score, classification_report
+from repro.unet import InferenceConfig, SceneClassifier
+from repro.workflow import AccuracyExperimentConfig, run_accuracy_experiment
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def main() -> None:
+    print("training U-Net-Man and U-Net-Auto on a small synthetic archive "
+          "(this is the slow step, ~1-2 minutes) ...")
+    config = AccuracyExperimentConfig(
+        num_scenes=5, scene_size=96, tile_size=32, epochs=20, batch_size=8,
+        unet_depth=2, unet_base_channels=8, unet_dropout=0.0, learning_rate=3e-3, seed=3,
+    )
+    experiment = run_accuracy_experiment(config)
+    print("  Table IV style summary of the two models:")
+    for row in experiment.table4_rows():
+        print(f"    {row}")
+
+    print("classifying a held-out cloudy scene ...")
+    scene = synthesize_scene(SceneSpec(height=128, width=128, cloud_coverage=0.35, seed=999))
+    inference = InferenceConfig(tile_size=config.tile_size, apply_cloud_filter=True, batch_size=8)
+    predictions = {
+        "unet_man": SceneClassifier(model=experiment.unet_man, config=inference).classify_scene(scene.rgb),
+        "unet_auto": SceneClassifier(model=experiment.unet_auto, config=inference).classify_scene(scene.rgb),
+    }
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    np.save(os.path.join(OUTPUT_DIR, "scene_rgb.npy"), scene.rgb)
+    np.save(os.path.join(OUTPUT_DIR, "ground_truth_rgb.npy"), class_map_to_color(scene.class_map))
+    for name, prediction in predictions.items():
+        np.save(os.path.join(OUTPUT_DIR, f"{name}_prediction_rgb.npy"), class_map_to_color(prediction))
+        report = classification_report(scene.class_map, prediction, num_classes=3,
+                                       class_names=["thick_ice", "thin_ice", "open_water"])
+        print(f"  {name}: scene accuracy {report.accuracy * 100:.2f}%")
+        print("    per-class accuracy: "
+              + ", ".join(f"{n}={a * 100:.1f}%" for n, a in zip(["thick", "thin", "water"],
+                                                                report.per_class_accuracy)))
+    agreement = accuracy_score(predictions["unet_man"], predictions["unet_auto"])
+    print(f"  U-Net-Man vs U-Net-Auto agreement: {agreement * 100:.2f}%")
+    print(f"  label images written to {OUTPUT_DIR}/ (load with numpy; red=thick, blue=thin, green=water)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""Command-line interface for the sea-ice classification workflow.
+
+Sub-commands (``repro-seaice <command> --help`` for options):
+
+* ``autolabel``  — generate a synthetic archive and auto-label it (serial,
+  multiprocessing or map-reduce backend), reporting timing and label quality.
+* ``scaling``    — print the Table I / Table II / Table III scaling tables.
+* ``train``      — run the U-Net-Man vs U-Net-Auto accuracy experiment
+  (Tables IV/V) at a configurable scale.
+* ``prep``       — time the scene-preparation pipeline (the paper's 349 s figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_autolabel(args: argparse.Namespace) -> int:
+    from .data import build_dataset
+    from .workflow import AutoLabelWorkflow, AutoLabelWorkflowConfig
+
+    dataset = build_dataset(
+        num_scenes=args.scenes, scene_size=args.scene_size, tile_size=args.tile_size, base_seed=args.seed
+    )
+    workflow = AutoLabelWorkflow(
+        AutoLabelWorkflowConfig(backend=args.backend, num_workers=args.workers, apply_cloud_filter=not args.no_filter)
+    )
+    result = workflow.run(dataset)
+    print(json.dumps(result.summary(), indent=2))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .data import build_dataset
+    from .distributed import DGXTrainingModel, paper_table3
+    from .mapreduce import GCDClusterModel, paper_table2
+    from .parallel import autolabel_scaling_table
+
+    if args.table in ("1", "all"):
+        dataset = build_dataset(num_scenes=args.scenes, scene_size=args.scene_size, tile_size=args.tile_size)
+        table = autolabel_scaling_table(dataset.images, worker_counts=tuple(args.workers))
+        print("== Table I: multiprocessing auto-labeling ==")
+        for row in table.rows():
+            print(row)
+    if args.table in ("2", "all"):
+        print("== Table II: map-reduce auto-labeling (simulated Dataproc cluster) ==")
+        for row in GCDClusterModel().sweep():
+            print(row)
+        print("-- paper values --")
+        for row in paper_table2():
+            print(row)
+    if args.table in ("3", "all"):
+        print("== Table III: Horovod distributed U-Net training (simulated DGX A100) ==")
+        for row in DGXTrainingModel().sweep():
+            print(row)
+        print("-- paper values --")
+        for row in paper_table3():
+            print(row)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .workflow import AccuracyExperimentConfig, run_accuracy_experiment
+
+    config = AccuracyExperimentConfig(
+        num_scenes=args.scenes,
+        scene_size=args.scene_size,
+        tile_size=args.tile_size,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    result = run_accuracy_experiment(config)
+    print("== Table IV: classification accuracy ==")
+    for row in result.table4_rows():
+        print(row)
+    print("== Table V: accuracy vs cloud/shadow coverage ==")
+    for row in result.table5_rows():
+        print(row)
+    print(f"auto-label SSIM vs manual: {result.autolabel_ssim:.4f}")
+    return 0
+
+
+def _cmd_prep(args: argparse.Namespace) -> int:
+    from .workflow import run_preparation_pipeline
+
+    timing = run_preparation_pipeline(
+        num_scenes=args.scenes, scene_size=args.scene_size, tile_size=args.tile_size, seed=args.seed
+    )
+    print(json.dumps(timing.summary(), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-seaice", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("autolabel", help="auto-label a synthetic archive")
+    p.add_argument("--scenes", type=int, default=4)
+    p.add_argument("--scene-size", type=int, default=256)
+    p.add_argument("--tile-size", type=int, default=128)
+    p.add_argument("--backend", choices=("serial", "multiprocessing", "mapreduce"), default="serial")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--no-filter", action="store_true", help="skip the thin-cloud/shadow filter")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_autolabel)
+
+    p = sub.add_parser("scaling", help="print the scaling tables (Tables I-III)")
+    p.add_argument("--table", choices=("1", "2", "3", "all"), default="all")
+    p.add_argument("--scenes", type=int, default=2)
+    p.add_argument("--scene-size", type=int, default=256)
+    p.add_argument("--tile-size", type=int, default=128)
+    p.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    p.set_defaults(func=_cmd_scaling)
+
+    p = sub.add_parser("train", help="run the U-Net-Man vs U-Net-Auto experiment (Tables IV/V)")
+    p.add_argument("--scenes", type=int, default=6)
+    p.add_argument("--scene-size", type=int, default=128)
+    p.add_argument("--tile-size", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("prep", help="time the scene-preparation pipeline")
+    p.add_argument("--scenes", type=int, default=2)
+    p.add_argument("--scene-size", type=int, default=256)
+    p.add_argument("--tile-size", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_prep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Thin-cloud and shadow *removal* (veil estimation and inversion).
+
+Thin clouds and cloud shadows act, to first order, as a linear mixture of
+the true surface colour with a contaminant colour (white scattered light
+for clouds, dark blue ambient skylight for shadows)::
+
+    observed = (1 - alpha) * surface + alpha * contaminant
+
+This is the standard linear mixing model of optical remote sensing, and it
+is also exactly how the synthetic data substrate composes its veils, so the
+filter genuinely inverts the physics rather than pattern-matching the
+generator's output.  The surface colour is unknown, but over polar sea ice
+it is well approximated by one of a small set of class reference colours
+(the same observation that makes the paper's HSV auto-labeling work).  The
+filter therefore
+
+1. hypothesises every (surface class, contaminant) pair for every pixel,
+2. solves the per-pixel least-squares opacity ``alpha`` for each hypothesis,
+3. keeps the hypothesis with the smallest residual (with a small penalty on
+   ``alpha`` so clean pixels are preferred when the evidence is ambiguous),
+4. optionally smooths the opacity field (veils are spatially smooth), and
+5. inverts the mixing model to recover the surface colour.
+
+In a deployment on real Sentinel-2 data the reference colours would be
+calibrated per region/season exactly as the paper calibrates its HSV
+thresholds "through a process of trial and error".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.radiometry import CLOUD_CONTAMINANT_RGB, SHADOW_CONTAMINANT_RGB, prototype_array
+from ..imops import gaussian_blur
+
+__all__ = ["VeilEstimate", "ThinCloudShadowRemover"]
+
+
+@dataclass
+class VeilEstimate:
+    """Per-pixel veil estimate produced by :class:`ThinCloudShadowRemover`."""
+
+    cloud_alpha: np.ndarray
+    shadow_alpha: np.ndarray
+    surface_class: np.ndarray  #: index of the best-fitting surface prototype
+
+    @property
+    def affected_fraction(self) -> float:
+        return float(((self.cloud_alpha > 0.05) | (self.shadow_alpha > 0.05)).mean())
+
+
+@dataclass
+class ThinCloudShadowRemover:
+    """Removes thin clouds and shadows from RGB sea-ice imagery.
+
+    Parameters
+    ----------
+    surface_prototypes:
+        ``(K, 3)`` reference RGB colours of the plausible surfaces.  Defaults
+        to the thick-ice / thin-ice / open-water prototypes.
+    cloud_color, shadow_color:
+        Contaminant colours of the two veil types.
+    alpha_penalty:
+        Penalty (in RGB distance units) added per unit of opacity when
+        scoring hypotheses; biases ambiguous pixels toward "clean".
+    max_alpha:
+        Upper bound on recoverable opacity; beyond this the veil is treated
+        as opaque (the paper explicitly does not handle thick clouds).
+    min_alpha:
+        Opacities below this are treated as zero.  Because the least-squares
+        fit has one extra degree of freedom per hypothesis it can always
+        absorb a little sensor noise into a tiny spurious opacity; the floor
+        keeps genuinely clean pixels untouched.
+    smooth_ksize:
+        Gaussian kernel size used to smooth the opacity fields (0 disables).
+    score_smooth_ksize:
+        Gaussian kernel size used to aggregate hypothesis scores over a
+        neighbourhood before choosing the winner.  Both the surface classes
+        and the veils are regionally coherent, so pooling evidence spatially
+        resolves pixels where two (surface, contaminant) explanations are
+        nearly collinear in RGB space (e.g. cloud-over-water versus
+        shadow-over-thin-ice).  0 disables pooling.
+    """
+
+    surface_prototypes: np.ndarray = field(default_factory=prototype_array)
+    cloud_color: tuple[float, float, float] = CLOUD_CONTAMINANT_RGB
+    shadow_color: tuple[float, float, float] = SHADOW_CONTAMINANT_RGB
+    alpha_penalty: float = 6.0
+    max_alpha: float = 0.75
+    min_alpha: float = 0.04
+    smooth_ksize: int = 5
+    score_smooth_ksize: int = 11
+
+    def __post_init__(self) -> None:
+        self.surface_prototypes = np.asarray(self.surface_prototypes, dtype=np.float64)
+        if self.surface_prototypes.ndim != 2 or self.surface_prototypes.shape[1] != 3:
+            raise ValueError("surface_prototypes must be a (K, 3) array")
+        if not 0.0 < self.max_alpha < 1.0:
+            raise ValueError("max_alpha must be in (0, 1)")
+
+    # ------------------------------------------------------------------ #
+    # Veil estimation
+    # ------------------------------------------------------------------ #
+    def estimate(self, rgb: np.ndarray) -> VeilEstimate:
+        """Estimate per-pixel cloud and shadow opacity for an RGB image."""
+        img = np.asarray(rgb)
+        if img.ndim != 3 or img.shape[-1] != 3:
+            raise ValueError(f"expected (H, W, 3) RGB image, got shape {img.shape}")
+        data = img.astype(np.float64)
+        h, w, _ = data.shape
+
+        prototypes = self.surface_prototypes  # (K, 3)
+        contaminants = np.array([self.cloud_color, self.shadow_color], dtype=np.float64)  # (2, 3)
+        num_k = prototypes.shape[0]
+        num_m = contaminants.shape[0]
+
+        # Hypothesis axes: k (surface), m (contaminant).
+        # diff[..., k, :] = I - J_k
+        diff = data[:, :, None, :] - prototypes[None, None, :, :]  # (H, W, K, 3)
+        direction = contaminants[None, :, :] - prototypes[:, None, :]  # (K, M, 3)
+        dir_norm_sq = np.maximum(np.sum(direction * direction, axis=-1), 1e-9)  # (K, M)
+
+        # alpha[..., k, m] = <I - J_k, C_m - J_k> / ||C_m - J_k||^2, clipped.
+        alpha = np.einsum("hwkc,kmc->hwkm", diff, direction) / dir_norm_sq[None, None, :, :]
+        alpha = np.clip(alpha, 0.0, self.max_alpha)
+
+        # residual = || (I - J_k) - alpha * (C_m - J_k) ||
+        recon = alpha[..., None] * direction[None, None, :, :, :]  # (H, W, K, M, 3)
+        resid = diff[:, :, :, None, :] - recon
+        residual = np.sqrt(np.sum(resid * resid, axis=-1))  # (H, W, K, M)
+
+        score = residual + self.alpha_penalty * alpha
+
+        # Decide the contaminant type (cloud vs shadow) from spatially pooled
+        # evidence: veils are regionally coherent, so the per-pixel best-class
+        # score of each contaminant is smoothed before the argmin.  The
+        # surface class itself is then chosen per pixel (class boundaries are
+        # sharp and must not be blurred across).
+        contaminant_score = score.min(axis=2)  # (H, W, M)
+        if self.score_smooth_ksize and self.score_smooth_ksize >= 3:
+            pooled = np.empty_like(contaminant_score)
+            for m in range(num_m):
+                pooled[:, :, m] = gaussian_blur(contaminant_score[:, :, m], ksize=self.score_smooth_ksize)
+            contaminant_score = pooled
+        best_m = np.argmin(contaminant_score, axis=-1)  # (H, W)
+
+        rows = np.arange(h)[:, None]
+        cols = np.arange(w)[None, :]
+        score_for_m = score[rows, cols, :, best_m]  # (H, W, K)
+        best_k = np.argmin(score_for_m, axis=-1)
+        best_alpha = alpha[rows, cols, best_k, best_m]
+
+        cloud_alpha = np.where(best_m == 0, best_alpha, 0.0)
+        shadow_alpha = np.where(best_m == 1, best_alpha, 0.0)
+
+        if self.smooth_ksize and self.smooth_ksize >= 3:
+            cloud_alpha = gaussian_blur(cloud_alpha, ksize=self.smooth_ksize)
+            shadow_alpha = gaussian_blur(shadow_alpha, ksize=self.smooth_ksize)
+            cloud_alpha = np.clip(cloud_alpha, 0.0, self.max_alpha)
+            shadow_alpha = np.clip(shadow_alpha, 0.0, self.max_alpha)
+
+        # Suppress the tiny spurious opacities that the extra least-squares
+        # degree of freedom extracts from sensor noise on clean pixels.
+        cloud_alpha = np.where(cloud_alpha >= self.min_alpha, cloud_alpha, 0.0)
+        shadow_alpha = np.where(shadow_alpha >= self.min_alpha, shadow_alpha, 0.0)
+
+        return VeilEstimate(
+            cloud_alpha=cloud_alpha,
+            shadow_alpha=shadow_alpha,
+            surface_class=best_k.astype(np.uint8),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Veil inversion
+    # ------------------------------------------------------------------ #
+    def remove(self, rgb: np.ndarray, estimate: VeilEstimate | None = None) -> np.ndarray:
+        """Return the cloud/shadow-filtered RGB image (uint8)."""
+        img = np.asarray(rgb)
+        est = estimate or self.estimate(img)
+        data = img.astype(np.float64)
+
+        # Invert the shadow veil first (it is composited on top of the cloud
+        # veil by the atmosphere: the shadowed surface may itself be cloudy).
+        shadow = np.asarray(self.shadow_color, dtype=np.float64).reshape(1, 1, 3)
+        a_s = np.clip(est.shadow_alpha, 0.0, self.max_alpha)[..., None]
+        data = (data - a_s * shadow) / np.maximum(1.0 - a_s, 1.0 - self.max_alpha)
+
+        cloud = np.asarray(self.cloud_color, dtype=np.float64).reshape(1, 1, 3)
+        a_c = np.clip(est.cloud_alpha, 0.0, self.max_alpha)[..., None]
+        data = (data - a_c * cloud) / np.maximum(1.0 - a_c, 1.0 - self.max_alpha)
+
+        return np.clip(np.round(data), 0, 255).astype(np.uint8)
+
+    def __call__(self, rgb: np.ndarray) -> np.ndarray:
+        """Alias for :meth:`remove` so the remover composes as a plain function."""
+        return self.remove(rgb)

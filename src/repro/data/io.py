@@ -1,0 +1,69 @@
+"""Dataset persistence: save and load tile archives as compressed ``.npz`` files.
+
+Generating (or, in a real deployment, downloading and tiling) a scene archive
+is by far the slowest part of the workflow, so the catalog can be written to
+disk once and re-loaded by every subsequent experiment.  The format is a
+single compressed ``.npz`` holding the observed tiles, the clean tiles, the
+ground-truth labels and the per-tile metadata columns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .catalog import TileDataset, TileRecord
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: TileDataset, path: "str | os.PathLike") -> str:
+    """Write a :class:`TileDataset` to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    path = str(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        images=dataset.images,
+        clean_images=dataset.clean_images,
+        labels=dataset.labels,
+        scene_index=np.array([r.scene_index for r in dataset.records], dtype=np.int64),
+        tile_index=np.array([r.tile_index for r in dataset.records], dtype=np.int64),
+        cloud_shadow_fraction=np.array([r.cloud_shadow_fraction for r in dataset.records], dtype=np.float64),
+    )
+    return path
+
+
+def load_dataset(path: "str | os.PathLike") -> TileDataset:
+    """Load a :class:`TileDataset` previously written by :func:`save_dataset`."""
+    path = str(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        required = {"images", "clean_images", "labels", "scene_index", "tile_index", "cloud_shadow_fraction"}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(f"{path} is not a tile-dataset archive (missing {sorted(missing)})")
+        version = int(archive["format_version"]) if "format_version" in archive.files else 0
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"archive format version {version} is newer than supported ({_FORMAT_VERSION})")
+        records = [
+            TileRecord(scene_index=int(s), tile_index=int(t), cloud_shadow_fraction=float(f))
+            for s, t, f in zip(archive["scene_index"], archive["tile_index"], archive["cloud_shadow_fraction"])
+        ]
+        return TileDataset(
+            images=archive["images"],
+            clean_images=archive["clean_images"],
+            labels=archive["labels"],
+            records=records,
+        )

@@ -1,0 +1,146 @@
+"""Batch loading, normalisation and augmentation for U-Net training.
+
+The paper "organise[s] the data into batches for the U-Net models using
+dataloader" with batch sizes of 16/32/64 and relies on U-Net's heavy use of
+data augmentation.  This loader converts uint8 RGB tiles into normalised
+``(N, C, H, W)`` float32 batches with one-hot targets, supports shuffling
+and the standard flip / rotate-90 augmentations that preserve label maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..classes import NUM_CLASSES
+
+__all__ = ["image_to_tensor", "labels_to_onehot", "augment_pair", "BatchLoader"]
+
+
+def image_to_tensor(images: np.ndarray) -> np.ndarray:
+    """Convert ``(N, H, W, 3)`` uint8 (or ``(H, W, 3)``) images to NCHW float32 in [0, 1]."""
+    arr = np.asarray(images)
+    single = arr.ndim == 3
+    if single:
+        arr = arr[None]
+    if arr.ndim != 4 or arr.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3) images, got shape {np.asarray(images).shape}")
+    tensor = arr.astype(np.float32) / 255.0
+    tensor = np.transpose(tensor, (0, 3, 1, 2))
+    return tensor[0] if single else tensor
+
+
+def labels_to_onehot(labels: np.ndarray, num_classes: int = NUM_CLASSES) -> np.ndarray:
+    """Convert ``(N, H, W)`` integer class maps to ``(N, num_classes, H, W)`` float32 one-hot."""
+    arr = np.asarray(labels)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    if arr.ndim != 3:
+        raise ValueError(f"expected (N, H, W) labels, got shape {np.asarray(labels).shape}")
+    if arr.min() < 0 or arr.max() >= num_classes:
+        raise ValueError("labels outside [0, num_classes)")
+    onehot = np.zeros((arr.shape[0], num_classes) + arr.shape[1:], dtype=np.float32)
+    n_idx = np.arange(arr.shape[0])[:, None, None]
+    h_idx = np.arange(arr.shape[1])[None, :, None]
+    w_idx = np.arange(arr.shape[2])[None, None, :]
+    onehot[n_idx, arr.astype(np.intp), h_idx, w_idx] = 1.0
+    return onehot[0] if single else onehot
+
+
+def augment_pair(
+    image: np.ndarray,
+    label: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a random label-preserving augmentation to an (image, label) pair.
+
+    ``image`` is ``(C, H, W)`` float32, ``label`` is ``(H, W)`` int.  The
+    augmentation group is the 8-element dihedral group (flips + 90° rotations),
+    which is exact for square tiles and keeps image/label aligned.
+    """
+    img = np.asarray(image)
+    lab = np.asarray(label)
+    if img.ndim != 3 or lab.ndim != 2 or img.shape[1:] != lab.shape:
+        raise ValueError("augment_pair expects (C, H, W) image and matching (H, W) label")
+    if rng.uniform() < 0.5:
+        img = img[:, :, ::-1]
+        lab = lab[:, ::-1]
+    if rng.uniform() < 0.5:
+        img = img[:, ::-1, :]
+        lab = lab[::-1, :]
+    k = int(rng.integers(0, 4))
+    if k and img.shape[1] == img.shape[2]:
+        img = np.rot90(img, k=k, axes=(1, 2))
+        lab = np.rot90(lab, k=k)
+    return np.ascontiguousarray(img), np.ascontiguousarray(lab)
+
+
+@dataclass
+class BatchLoader:
+    """Mini-batch iterator over (image, label) tile pairs.
+
+    Parameters
+    ----------
+    images:
+        ``(N, H, W, 3)`` uint8 tiles.
+    labels:
+        ``(N, H, W)`` integer class maps.
+    batch_size:
+        Number of tiles per batch (paper uses 16/32/64, default 32).
+    shuffle:
+        Reshuffle the order every epoch.
+    augment:
+        Apply random flips/rotations per sample.
+    drop_last:
+        Drop the final incomplete batch (needed for fixed-size distributed shards).
+    seed:
+        Seed of the loader's private random generator.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    batch_size: int = 32
+    shuffle: bool = True
+    augment: bool = False
+    drop_last: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images)
+        self.labels = np.asarray(self.labels)
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels must have the same length")
+        if self.images.shape[0] == 0:
+            raise ValueError("cannot build a loader over zero tiles")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._rng = np.random.default_rng(self.seed)
+
+    def __len__(self) -> int:
+        n = self.images.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.images.shape[0])
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(x, y)`` with ``x`` NCHW float32 and ``y`` (N, H, W) int64."""
+        n = self.images.shape[0]
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        num_batches = len(self)
+        for b in range(num_batches):
+            idx = order[b * self.batch_size : (b + 1) * self.batch_size]
+            if idx.size == 0:
+                continue
+            x = image_to_tensor(self.images[idx])
+            y = self.labels[idx].astype(np.int64)
+            if self.augment:
+                for i in range(x.shape[0]):
+                    x[i], y[i] = augment_pair(x[i], y[i], self._rng)
+            yield x, y

@@ -1,0 +1,21 @@
+"""Distributed U-Net training: ring all-reduce, Horovod-like API, data parallelism, DGX model."""
+
+from .allreduce import AllReduceStats, PipeRingAllReducer, naive_allreduce, ring_allreduce
+from .data_parallel import DataParallelTrainer, ShardedBatches
+from .horovod import DistributedOptimizer, WorkerGroup, broadcast_parameters
+from .perfmodel import PAPER_TABLE3_ROWS, DGXTrainingModel, paper_table3
+
+__all__ = [
+    "AllReduceStats",
+    "PipeRingAllReducer",
+    "naive_allreduce",
+    "ring_allreduce",
+    "DataParallelTrainer",
+    "ShardedBatches",
+    "DistributedOptimizer",
+    "WorkerGroup",
+    "broadcast_parameters",
+    "PAPER_TABLE3_ROWS",
+    "DGXTrainingModel",
+    "paper_table3",
+]

@@ -1,0 +1,167 @@
+"""Synchronous data-parallel U-Net training (the Horovod workflow, runnable on CPU).
+
+Every worker ("GPU" in the paper) holds a full model replica and a shard of
+each global batch; after the local backward pass the gradients are averaged
+with ring all-reduce and the identical update is applied everywhere, so the
+replicas stay bit-for-bit synchronised — exactly the semantics of the
+paper's Horovod training, minus the physical GPUs.
+
+Because all replicas follow identical trajectories, the trainer keeps one
+*master* replica and per-worker gradient buffers: each worker still computes
+its own forward/backward on its own shard (the real data-parallel
+computation), and the master applies the averaged update.  A strict mode
+that maintains independent per-worker replicas and asserts they remain
+synchronised is used by the tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.loader import BatchLoader
+from ..nn import Adam, CategoricalCrossEntropy
+from ..unet.model import UNet, UNetConfig
+from ..unet.trainer import EpochStats, TrainingHistory
+from .horovod import DistributedOptimizer, WorkerGroup, broadcast_parameters
+
+__all__ = ["ShardedBatches", "DataParallelTrainer"]
+
+
+@dataclass
+class ShardedBatches:
+    """Splits a global batch into equal per-worker shards (drops the remainder)."""
+
+    num_workers: int
+
+    def shard(self, x: np.ndarray, y: np.ndarray) -> "list[tuple[np.ndarray, np.ndarray]] | None":
+        """Return per-worker (x, y) shards, or ``None`` when the batch is too small."""
+        n = x.shape[0]
+        per_worker = n // self.num_workers
+        if per_worker == 0:
+            return None
+        shards = []
+        for rank in range(self.num_workers):
+            sl = slice(rank * per_worker, (rank + 1) * per_worker)
+            shards.append((x[sl], y[sl]))
+        return shards
+
+
+@dataclass
+class DataParallelTrainer:
+    """Synchronous data-parallel trainer with a Horovod-style optimiser wrapper.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of data-parallel workers (the paper sweeps 1, 2, 4, 6, 8 GPUs).
+    config:
+        U-Net configuration of the replicas.
+    learning_rate:
+        Adam learning rate.
+    keep_replicas:
+        Maintain one independent model replica per worker and verify they stay
+        synchronised after every step (slower; used by correctness tests).
+        When off, worker gradients are computed against the master weights,
+        which is mathematically identical because synchronous SGD keeps all
+        replicas equal at every step.
+    """
+
+    num_workers: int = 2
+    config: UNetConfig = field(default_factory=UNetConfig)
+    learning_rate: float = 1e-3
+    keep_replicas: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.group = WorkerGroup.init(self.num_workers)
+        self.master = UNet(self.config)
+        self.loss_fn = CategoricalCrossEntropy()
+        self.optimizer = DistributedOptimizer(Adam(self.master.parameters(), lr=self.learning_rate), self.group)
+        self.history = TrainingHistory()
+        self.replicas: list[UNet] = []
+        if self.keep_replicas:
+            self.replicas = [UNet(self.config) for _ in range(self.num_workers)]
+            broadcast_parameters(self.master, self.replicas)
+        self._sharder = ShardedBatches(self.num_workers)
+
+    # ------------------------------------------------------------------ #
+    def _worker_gradients(self, rank: int, x: np.ndarray, y: np.ndarray) -> tuple[list[np.ndarray], float]:
+        """Forward/backward of one worker's shard; returns (gradients, loss)."""
+        model = self.replicas[rank] if self.keep_replicas else self.master
+        loss_fn = CategoricalCrossEntropy()
+        model.train()
+        model.zero_grad()
+        logits = model.forward(x)
+        loss = loss_fn.forward(logits, y)
+        model.backward(loss_fn.backward())
+        grads = [p.grad.copy() for p in model.parameters()]
+        return grads, loss
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float | None:
+        """One synchronous data-parallel step over a global batch.
+
+        Returns the mean worker loss, or ``None`` if the batch was smaller
+        than the worker count and had to be skipped.
+        """
+        shards = self._sharder.shard(x, y)
+        if shards is None:
+            return None
+        per_worker_grads = []
+        losses = []
+        for rank, (xs, ys) in enumerate(shards):
+            grads, loss = self._worker_gradients(rank, xs, ys)
+            per_worker_grads.append(grads)
+            losses.append(loss)
+
+        self.optimizer.step(per_worker_grads)
+        if self.keep_replicas:
+            broadcast_parameters(self.master, self.replicas)
+        return float(np.mean(losses))
+
+    def train_epoch(self, loader: BatchLoader, epoch: int = 0) -> EpochStats:
+        start = time.perf_counter()
+        losses = []
+        images = 0
+        for x, y in loader:
+            loss = self.train_step(x, y)
+            if loss is not None:
+                losses.append(loss)
+                images += x.shape[0]
+        elapsed = time.perf_counter() - start
+        stats = EpochStats(
+            epoch=epoch,
+            loss=float(np.mean(losses)) if losses else float("nan"),
+            time_s=elapsed,
+            images_per_s=images / elapsed if elapsed > 0 else 0.0,
+        )
+        self.history.append(stats)
+        return stats
+
+    def fit(self, loader: BatchLoader, epochs: int = 1, verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` passes; the loader's batch size is the *global* batch."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        for epoch in range(epochs):
+            stats = self.train_epoch(loader, epoch=epoch)
+            if verbose:  # pragma: no cover - console output
+                print(f"[{self.num_workers} workers] epoch {epoch + 1}: loss={stats.loss:.4f} "
+                      f"time={stats.time_s:.2f}s")
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    def replicas_synchronised(self, atol: float = 1e-6) -> bool:
+        """Check that every replica's weights equal the master's (strict mode only)."""
+        if not self.keep_replicas:
+            return True
+        master_state = self.master.state_dict()
+        for replica in self.replicas:
+            state = replica.state_dict()
+            for key, value in master_state.items():
+                if not np.allclose(state[key], value, atol=atol):
+                    return False
+        return True

@@ -1,0 +1,118 @@
+"""A Horovod-like API over the ring all-reduce (paper §III-C.1, Figure 8).
+
+The paper integrates Horovod with four calls: ``hvd.init()``, pinning one
+GPU per process, wrapping the optimiser with ``hvd.DistributedOptimizer``
+and broadcasting the initial variables from rank 0.  This module provides
+the same surface over the in-process worker group used by
+:mod:`repro.distributed.data_parallel`, so the training code reads like the
+paper's pseudo-code while remaining runnable on a CPU-only machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optimizers import Optimizer
+from .allreduce import AllReduceStats, ring_allreduce
+
+__all__ = ["WorkerGroup", "DistributedOptimizer", "broadcast_parameters"]
+
+
+class WorkerGroup:
+    """The set of synchronous data-parallel workers ("GPUs") of one training job.
+
+    ``init`` plays the role of ``hvd.init()``; ``size``/``rank`` mirror the
+    Horovod API.  Because the reproduction runs every worker in one Python
+    process, the group also owns the all-reduce used to combine their
+    gradients and records its statistics.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("worker group size must be >= 1")
+        self._size = size
+        self.last_stats: AllReduceStats | None = None
+
+    @classmethod
+    def init(cls, size: int) -> "WorkerGroup":
+        """Create the worker group (``hvd.init()`` analogue)."""
+        return cls(size)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def ranks(self) -> range:
+        return range(self._size)
+
+    # ------------------------------------------------------------------ #
+    def allreduce_gradients(self, per_worker_grads: list[list[np.ndarray]]) -> list[np.ndarray]:
+        """Average aligned gradient lists from every worker.
+
+        ``per_worker_grads[r][i]`` is worker ``r``'s gradient of parameter
+        ``i``.  All parameters are flattened into one buffer per worker (as
+        Horovod's tensor-fusion does), ring-all-reduced, then unpacked.
+        Returns the averaged gradient list shared by all workers.
+        """
+        if len(per_worker_grads) != self._size:
+            raise ValueError(f"expected gradients from {self._size} workers, got {len(per_worker_grads)}")
+        num_params = len(per_worker_grads[0])
+        for grads in per_worker_grads:
+            if len(grads) != num_params:
+                raise ValueError("all workers must provide the same number of gradient tensors")
+
+        shapes = [np.asarray(g).shape for g in per_worker_grads[0]]
+        sizes = [int(np.prod(s)) for s in shapes]
+        buffers = [
+            np.concatenate([np.asarray(g, dtype=np.float64).ravel() for g in grads])
+            for grads in per_worker_grads
+        ]
+        reduced, stats = ring_allreduce(buffers, average=True)
+        self.last_stats = stats
+
+        averaged = reduced[0]
+        out: list[np.ndarray] = []
+        offset = 0
+        for shape, size in zip(shapes, sizes):
+            out.append(averaged[offset : offset + size].reshape(shape).astype(np.float32))
+            offset += size
+        return out
+
+
+class DistributedOptimizer:
+    """Wraps a local optimiser so that ``step`` first averages gradients across workers.
+
+    Mirrors ``opt = hvd.DistributedOptimizer(opt)``: the wrapped optimiser's
+    parameter list is the *rank-0 replica*; :meth:`step` takes the gradient
+    lists gathered from every worker replica, all-reduces them, installs the
+    averaged gradients on the rank-0 parameters and applies the update.
+    """
+
+    def __init__(self, optimizer: Optimizer, group: WorkerGroup) -> None:
+        self.optimizer = optimizer
+        self.group = group
+
+    @property
+    def parameters(self):
+        return self.optimizer.parameters
+
+    def zero_grad(self) -> None:
+        self.optimizer.zero_grad()
+
+    def step(self, per_worker_grads: list[list[np.ndarray]]) -> None:
+        averaged = self.group.allreduce_gradients(per_worker_grads)
+        if len(averaged) != len(self.optimizer.parameters):
+            raise ValueError("gradient count does not match the optimiser's parameter count")
+        for param, grad in zip(self.optimizer.parameters, averaged):
+            if grad.shape != param.value.shape:
+                raise ValueError("gradient shape mismatch in distributed step")
+            param.grad[...] = grad
+        self.optimizer.step()
+
+
+def broadcast_parameters(source: Module, replicas: list[Module]) -> None:
+    """Copy rank-0 weights into every replica (``BroadcastGlobalVariablesCallback(0)``)."""
+    state = source.state_dict()
+    for replica in replicas:
+        replica.load_state_dict(state)

@@ -1,0 +1,104 @@
+"""Pure-NumPy image operations (the repo's OpenCV substitute).
+
+Every classical transform the paper's thin-cloud/shadow filter and
+colour-segmentation auto-labeler rely on is implemented here:
+
+* :mod:`repro.imops.color` — RGB↔HSV/grayscale conversion (OpenCV uint8 conventions)
+* :mod:`repro.imops.threshold` — binary / truncated / to-zero / Otsu / adaptive thresholding
+* :mod:`repro.imops.filters` — Gaussian, box, median and bilateral filtering
+* :mod:`repro.imops.arithmetic` — saturating add/subtract, absdiff, bit-wise ops, min-max normalisation
+* :mod:`repro.imops.morphology` — erosion, dilation, opening, closing, small-object removal
+* :mod:`repro.imops.resize` — nearest / bilinear resize, scene tiling and reassembly
+"""
+
+from .arithmetic import (
+    absdiff,
+    apply_mask,
+    bitwise_and,
+    bitwise_not,
+    bitwise_or,
+    min_max_normalize,
+    saturating_add,
+    saturating_subtract,
+    scale_to_uint8,
+)
+from .color import (
+    gray_to_rgb,
+    hsv_to_rgb,
+    merge_channels,
+    rgb_to_gray,
+    rgb_to_hsv,
+    split_channels,
+)
+from .filters import bilateral_filter, box_filter, gaussian_blur, gaussian_kernel1d, median_blur
+from .morphology import (
+    dilate,
+    erode,
+    fill_holes,
+    morph_close,
+    morph_open,
+    remove_small_objects,
+    structuring_element,
+)
+from .resize import (
+    assemble_from_tiles,
+    pad_to_multiple,
+    resize_bilinear,
+    resize_nearest,
+    split_into_tiles,
+)
+from .threshold import (
+    ThresholdType,
+    adaptive_mean_threshold,
+    otsu_threshold,
+    threshold,
+    threshold_binary,
+    threshold_binary_inv,
+    threshold_tozero,
+    threshold_tozero_inv,
+    threshold_truncate,
+)
+
+__all__ = [
+    "absdiff",
+    "apply_mask",
+    "bitwise_and",
+    "bitwise_not",
+    "bitwise_or",
+    "min_max_normalize",
+    "saturating_add",
+    "saturating_subtract",
+    "scale_to_uint8",
+    "gray_to_rgb",
+    "hsv_to_rgb",
+    "merge_channels",
+    "rgb_to_gray",
+    "rgb_to_hsv",
+    "split_channels",
+    "bilateral_filter",
+    "box_filter",
+    "gaussian_blur",
+    "gaussian_kernel1d",
+    "median_blur",
+    "dilate",
+    "erode",
+    "fill_holes",
+    "morph_close",
+    "morph_open",
+    "remove_small_objects",
+    "structuring_element",
+    "assemble_from_tiles",
+    "pad_to_multiple",
+    "resize_bilinear",
+    "resize_nearest",
+    "split_into_tiles",
+    "ThresholdType",
+    "adaptive_mean_threshold",
+    "otsu_threshold",
+    "threshold",
+    "threshold_binary",
+    "threshold_binary_inv",
+    "threshold_tozero",
+    "threshold_tozero_inv",
+    "threshold_truncate",
+]

@@ -1,0 +1,117 @@
+"""Image resizing, tiling and padding helpers.
+
+The paper splits 2048×2048 Sentinel-2 scenes into 256×256 tiles before
+auto-labeling and U-Net training, and the U-Net decoder up-samples feature
+maps by a factor of two at every stage; this module provides both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "resize_nearest",
+    "resize_bilinear",
+    "pad_to_multiple",
+    "split_into_tiles",
+    "assemble_from_tiles",
+]
+
+
+def resize_nearest(image: np.ndarray, new_shape: tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbour resize to ``(new_h, new_w)``; preserves dtype and labels."""
+    img = np.asarray(image)
+    new_h, new_w = int(new_shape[0]), int(new_shape[1])
+    if new_h <= 0 or new_w <= 0:
+        raise ValueError("target shape must be positive")
+    h, w = img.shape[:2]
+    rows = np.minimum((np.arange(new_h) + 0.5) * h / new_h, h - 1).astype(np.intp)
+    cols = np.minimum((np.arange(new_w) + 0.5) * w / new_w, w - 1).astype(np.intp)
+    return img[rows][:, cols]
+
+
+def resize_bilinear(image: np.ndarray, new_shape: tuple[int, int]) -> np.ndarray:
+    """Bilinear resize to ``(new_h, new_w)`` with half-pixel centres.
+
+    uint8 inputs are rounded back to uint8, float inputs stay float.
+    """
+    img = np.asarray(image)
+    new_h, new_w = int(new_shape[0]), int(new_shape[1])
+    if new_h <= 0 or new_w <= 0:
+        raise ValueError("target shape must be positive")
+    h, w = img.shape[:2]
+    data = img.astype(np.float64)
+
+    ys = (np.arange(new_h) + 0.5) * h / new_h - 0.5
+    xs = (np.arange(new_w) + 0.5) * w / new_w - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).reshape(-1, 1)
+    wx = (xs - x0).reshape(1, -1)
+    if img.ndim == 3:
+        wy = wy[..., None]
+        wx = wx[..., None]
+
+    top = data[y0][:, x0] * (1 - wx) + data[y0][:, x1] * wx
+    bot = data[y1][:, x0] * (1 - wx) + data[y1][:, x1] * wx
+    out = top * (1 - wy) + bot * wy
+    if img.dtype == np.uint8:
+        return np.clip(np.round(out), 0, 255).astype(np.uint8)
+    return out.astype(img.dtype, copy=False) if np.issubdtype(img.dtype, np.floating) else out
+
+
+def pad_to_multiple(image: np.ndarray, multiple: int, mode: str = "reflect") -> np.ndarray:
+    """Pad the bottom/right edges so height and width are multiples of ``multiple``."""
+    if multiple < 1:
+        raise ValueError("multiple must be >= 1")
+    img = np.asarray(image)
+    h, w = img.shape[:2]
+    pad_h = (-h) % multiple
+    pad_w = (-w) % multiple
+    if pad_h == 0 and pad_w == 0:
+        return img
+    pad_spec = [(0, pad_h), (0, pad_w)] + [(0, 0)] * (img.ndim - 2)
+    return np.pad(img, pad_spec, mode=mode)
+
+
+def split_into_tiles(image: np.ndarray, tile_size: int = 256) -> tuple[np.ndarray, tuple[int, int]]:
+    """Split a scene into non-overlapping ``tile_size``×``tile_size`` tiles.
+
+    The scene is padded (reflect) up to a tile-size multiple first, matching
+    how the paper cuts 66 big scenes into 4224 tiles.
+
+    Returns ``(tiles, grid)`` where ``tiles`` has shape
+    ``(n_tiles, tile_size, tile_size[, C])`` and ``grid = (rows, cols)``.
+    """
+    if tile_size < 1:
+        raise ValueError("tile_size must be >= 1")
+    img = pad_to_multiple(np.asarray(image), tile_size)
+    h, w = img.shape[:2]
+    rows, cols = h // tile_size, w // tile_size
+    if img.ndim == 2:
+        tiles = img.reshape(rows, tile_size, cols, tile_size).swapaxes(1, 2)
+        tiles = tiles.reshape(rows * cols, tile_size, tile_size)
+    else:
+        c = img.shape[2]
+        tiles = img.reshape(rows, tile_size, cols, tile_size, c).swapaxes(1, 2)
+        tiles = tiles.reshape(rows * cols, tile_size, tile_size, c)
+    return np.ascontiguousarray(tiles), (rows, cols)
+
+
+def assemble_from_tiles(tiles: np.ndarray, grid: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`split_into_tiles`: stitch tiles back into a scene."""
+    tiles = np.asarray(tiles)
+    rows, cols = grid
+    if tiles.shape[0] != rows * cols:
+        raise ValueError(f"expected {rows * cols} tiles, got {tiles.shape[0]}")
+    t = tiles.shape[1]
+    if tiles.ndim == 3:
+        out = tiles.reshape(rows, cols, t, t).swapaxes(1, 2).reshape(rows * t, cols * t)
+    else:
+        c = tiles.shape[-1]
+        out = tiles.reshape(rows, cols, t, t, c).swapaxes(1, 2).reshape(rows * t, cols * t, c)
+    return np.ascontiguousarray(out)

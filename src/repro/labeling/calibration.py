@@ -1,0 +1,139 @@
+"""HSV threshold calibration from labelled samples.
+
+The paper fixes its HSV colour ranges "through a process of trial and error"
+for the Ross Sea summer season and notes that *"the same color limits may not
+work for different regions of sea ice labeling, and a manual color limit
+setup may be needed in those cases"*.  This module implements that future-work
+item: given a (small) set of labelled tiles from a new region or season, it
+derives per-class value-channel bands automatically from the per-class HSV
+value distributions, producing a drop-in replacement for
+:data:`repro.classes.HSV_RANGES`.
+
+The calibration is deliberately simple and transparent — per-class value
+percentiles with the band boundaries placed at the midpoints between adjacent
+classes — because the downstream labeler only thresholds the V channel, and
+simple percentile statistics are robust to the small labelled sample a
+scientist would realistically provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classes import NUM_CLASSES, HSVRange, SeaIceClass
+from ..imops import rgb_to_hsv
+
+__all__ = ["CalibrationResult", "calibrate_hsv_ranges"]
+
+
+@dataclass
+class CalibrationResult:
+    """Calibrated per-class HSV ranges plus the statistics they came from."""
+
+    hsv_ranges: dict
+    class_value_percentiles: dict
+    samples_per_class: dict
+
+    def as_labeler_ranges(self) -> dict:
+        """The mapping to pass as ``ColorSegmentationLabeler(hsv_ranges=...)``."""
+        return dict(self.hsv_ranges)
+
+
+def _class_value_stats(
+    images: np.ndarray,
+    labels: np.ndarray,
+    lower_percentile: float,
+    upper_percentile: float,
+) -> tuple[dict, dict]:
+    values = rgb_to_hsv(images.reshape(-1, 1, 3)).reshape(-1, 3)[:, 2].astype(np.float64)
+    flat_labels = labels.reshape(-1)
+    percentiles: dict = {}
+    counts: dict = {}
+    for cls in SeaIceClass:
+        mask = flat_labels == int(cls)
+        counts[cls] = int(mask.sum())
+        if counts[cls] == 0:
+            continue
+        class_values = values[mask]
+        percentiles[cls] = (
+            float(np.percentile(class_values, lower_percentile)),
+            float(np.median(class_values)),
+            float(np.percentile(class_values, upper_percentile)),
+        )
+    return percentiles, counts
+
+
+def calibrate_hsv_ranges(
+    images: np.ndarray,
+    labels: np.ndarray,
+    lower_percentile: float = 2.0,
+    upper_percentile: float = 98.0,
+    min_samples_per_class: int = 50,
+) -> CalibrationResult:
+    """Derive per-class HSV value bands from labelled RGB samples.
+
+    Parameters
+    ----------
+    images:
+        ``(N, H, W, 3)`` uint8 tiles (or a single ``(H, W, 3)`` tile).
+    labels:
+        Matching ``(N, H, W)`` integer class maps.
+    lower_percentile, upper_percentile:
+        Percentiles of each class's V distribution used as its core band;
+        the final band boundaries are the midpoints between adjacent classes'
+        core bands, so the bands are contiguous and non-overlapping.
+    min_samples_per_class:
+        Calibration refuses to run when any class has fewer labelled pixels.
+
+    Returns
+    -------
+    CalibrationResult
+        With ``hsv_ranges`` covering the full 0–255 value axis: the darkest
+        class starts at 0 and the brightest ends at 255, exactly like the
+        paper's published bands.
+    """
+    imgs = np.asarray(images)
+    labs = np.asarray(labels)
+    if imgs.ndim == 3:
+        imgs = imgs[None]
+        labs = labs[None]
+    if imgs.ndim != 4 or imgs.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3) images, got shape {np.asarray(images).shape}")
+    if labs.shape != imgs.shape[:3]:
+        raise ValueError("labels must match the image stack shape")
+
+    percentiles, counts = _class_value_stats(imgs, labs, lower_percentile, upper_percentile)
+    missing = [cls for cls in SeaIceClass if counts.get(cls, 0) < min_samples_per_class]
+    if missing:
+        raise ValueError(
+            f"not enough labelled pixels to calibrate classes {[c.name for c in missing]} "
+            f"(need at least {min_samples_per_class} each)"
+        )
+
+    # Order the classes by their median V (dark -> bright) and place the band
+    # boundaries midway between adjacent classes' core bands.
+    ordered = sorted(SeaIceClass, key=lambda cls: percentiles[cls][1])
+    boundaries = [0]
+    for darker, brighter in zip(ordered, ordered[1:]):
+        upper_of_darker = percentiles[darker][2]
+        lower_of_brighter = percentiles[brighter][0]
+        boundary = int(round((upper_of_darker + lower_of_brighter) / 2.0))
+        boundary = int(np.clip(boundary, boundaries[-1] + 1, 254))
+        boundaries.append(boundary)
+    boundaries.append(255)
+
+    hsv_ranges: dict = {}
+    for index, cls in enumerate(ordered):
+        lower_v = boundaries[index] if index == 0 else boundaries[index] + 1
+        upper_v = boundaries[index + 1]
+        hsv_ranges[cls] = HSVRange(lower=(0, 0, int(lower_v)), upper=(185, 255, int(upper_v)))
+
+    if len(hsv_ranges) != NUM_CLASSES:
+        raise RuntimeError("calibration produced an incomplete range set")
+    return CalibrationResult(
+        hsv_ranges=hsv_ranges,
+        class_value_percentiles=percentiles,
+        samples_per_class=counts,
+    )

@@ -1,0 +1,195 @@
+"""The sparklite distributed dataset: lazy transformations + eager actions.
+
+This is the PySpark substitute.  ``SparkLiteContext.parallelize`` splits a
+collection into partitions, ``Dataset.map`` / ``filter`` / ``map_partitions``
+record *lazy* transformations (nothing executes, exactly as in Spark — which
+is why the paper's "Map Time" column is ~0.3 s), and actions such as
+``collect`` / ``count`` / ``reduce`` materialise the lineage on the
+configured executor backend.  Per-phase wall times (load / map / reduce) are
+recorded on the context so the Table II harness can report them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import reduce as functools_reduce
+from typing import Callable, Iterable, Sequence
+
+from .executors import ExecutorBackend, SerialExecutor, make_executor
+from .partition import Partition, default_num_partitions, partition_items
+
+__all__ = ["JobTimings", "SparkLiteContext", "Dataset", "udf"]
+
+
+@dataclass
+class JobTimings:
+    """Wall-clock time of the three phases the paper's Table II reports."""
+
+    load_time: float = 0.0
+    map_time: float = 0.0
+    reduce_time: float = 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "load_time_s": round(self.load_time, 4),
+            "map_time_s": round(self.map_time, 4),
+            "reduce_time_s": round(self.reduce_time, 4),
+        }
+
+
+def udf(func: Callable) -> Callable:
+    """Mark a function as a user-defined function (mirrors ``pyspark.sql.functions.udf``).
+
+    sparklite UDFs are ordinary picklable callables; the decorator exists so
+    workflow code reads like the original PySpark implementation.
+    """
+    func.__sparklite_udf__ = True
+    return func
+
+
+# --------------------------------------------------------------------------- #
+# Lineage operations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _MapOp:
+    func: Callable
+
+    def apply(self, items: list) -> list:
+        return [self.func(item) for item in items]
+
+
+@dataclass(frozen=True)
+class _FilterOp:
+    predicate: Callable
+
+    def apply(self, items: list) -> list:
+        return [item for item in items if self.predicate(item)]
+
+
+@dataclass(frozen=True)
+class _MapPartitionsOp:
+    func: Callable
+
+    def apply(self, items: list) -> list:
+        return list(self.func(items))
+
+
+class _PipelineTask:
+    """Picklable per-partition task that applies the whole lineage in one pass.
+
+    Implemented as a class (not a closure) so the process-pool executor can
+    ship it to worker processes.
+    """
+
+    def __init__(self, ops: tuple) -> None:
+        self.ops = ops
+
+    def __call__(self, items: list) -> list:
+        for op in self.ops:
+            items = op.apply(items)
+        return items
+
+
+def _pipeline_task(ops: tuple) -> Callable[[list], list]:
+    """Build the per-partition task for a lineage."""
+    return _PipelineTask(ops)
+
+
+# --------------------------------------------------------------------------- #
+# Context and dataset
+# --------------------------------------------------------------------------- #
+class SparkLiteContext:
+    """Driver-side entry point: owns the executor backend and job timings."""
+
+    def __init__(self, executor: "ExecutorBackend | str" = "serial", parallelism: int = 4) -> None:
+        if isinstance(executor, str):
+            executor = make_executor(executor, parallelism)
+        self.executor: ExecutorBackend = executor
+        self.last_timings = JobTimings()
+
+    # ------------------------------------------------------------------ #
+    def parallelize(self, items: Iterable, num_partitions: int | None = None) -> "Dataset":
+        """Distribute a collection into a :class:`Dataset` (the load phase).
+
+        The wall time of this call is recorded as ``load_time`` — it is the
+        analogue of reading the S2 image archive into a PySpark dataframe.
+        """
+        start = time.perf_counter()
+        items = list(items)
+        if num_partitions is None:
+            num_partitions = default_num_partitions(len(items), self.executor.parallelism)
+        partitions = partition_items(items, num_partitions)
+        self.last_timings = JobTimings(load_time=time.perf_counter() - start)
+        return Dataset(context=self, partitions=partitions)
+
+    def read_image_stack(self, stack, num_partitions: int | None = None) -> "Dataset":
+        """Load an ``(N, ...)`` ndarray as a dataset of per-image items."""
+        return self.parallelize(list(stack), num_partitions=num_partitions)
+
+
+@dataclass
+class Dataset:
+    """An immutable, lazily transformed, partitioned collection."""
+
+    context: SparkLiteContext
+    partitions: list[Partition]
+    lineage: tuple = field(default_factory=tuple)
+
+    # ------------------------------- transformations (lazy) ------------- #
+    def _derive(self, op) -> "Dataset":
+        start = time.perf_counter()
+        derived = Dataset(context=self.context, partitions=self.partitions, lineage=self.lineage + (op,))
+        # Registering a transformation is (nearly) free; accumulate it so the
+        # Table II "Map Time" column measures what PySpark's does.
+        self.context.last_timings.map_time += time.perf_counter() - start
+        return derived
+
+    def map(self, func: Callable) -> "Dataset":
+        """Lazily apply ``func`` to every item (the auto-labeling UDF in the paper)."""
+        return self._derive(_MapOp(func))
+
+    def filter(self, predicate: Callable) -> "Dataset":
+        """Lazily keep only the items satisfying ``predicate``."""
+        return self._derive(_FilterOp(predicate))
+
+    def map_partitions(self, func: Callable) -> "Dataset":
+        """Lazily apply ``func`` to each partition's item list as a whole."""
+        return self._derive(_MapPartitionsOp(func))
+
+    # ------------------------------- actions (eager) -------------------- #
+    def _materialize(self) -> list[list]:
+        start = time.perf_counter()
+        task = _pipeline_task(self.lineage)
+        per_partition = self.context.executor.run(self.partitions, task)
+        self.context.last_timings.reduce_time += time.perf_counter() - start
+        return per_partition
+
+    def collect(self) -> list:
+        """Run the lineage and gather all items on the driver (the Reduce phase)."""
+        return [item for part in self._materialize() for item in part]
+
+    def count(self) -> int:
+        """Number of items after applying the lineage."""
+        return sum(len(part) for part in self._materialize())
+
+    def reduce(self, func: Callable) -> object:
+        """Reduce all items pairwise with ``func`` (raises on an empty dataset)."""
+        per_partition = self._materialize()
+        partials = [functools_reduce(func, part) for part in per_partition if part]
+        if not partials:
+            raise ValueError("reduce() of an empty dataset")
+        return functools_reduce(func, partials)
+
+    def take(self, n: int) -> list:
+        """First ``n`` items after applying the lineage."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return self.collect()[:n]
+
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def timings(self) -> JobTimings:
+        """Timings of the most recent load / transformation / action phases."""
+        return self.context.last_timings

@@ -1,0 +1,55 @@
+"""Partitions: the unit of distribution in the sparklite map-reduce engine.
+
+A dataset is split into partitions; transformations are applied per
+partition by an executor backend, and actions combine the per-partition
+results.  This mirrors how a PySpark dataframe distributes S2 tiles over
+the Google Cloud Dataproc cluster in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Partition", "partition_items", "default_num_partitions"]
+
+
+@dataclass
+class Partition:
+    """One partition: an index plus the items it holds."""
+
+    index: int
+    items: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+def default_num_partitions(num_items: int, parallelism: int, partitions_per_slot: int = 2) -> int:
+    """Pick a partition count: a couple of partitions per execution slot, capped by item count."""
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if num_items <= 0:
+        return 1
+    return max(1, min(num_items, parallelism * partitions_per_slot))
+
+
+def partition_items(items: Sequence, num_partitions: int) -> list[Partition]:
+    """Split ``items`` into ``num_partitions`` contiguous, balanced partitions."""
+    items = list(items)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    n = len(items)
+    num_partitions = min(num_partitions, max(1, n)) if n else 1
+    partitions: list[Partition] = []
+    base = n // num_partitions
+    extra = n % num_partitions
+    start = 0
+    for index in range(num_partitions):
+        size = base + (1 if index < extra else 0)
+        partitions.append(Partition(index=index, items=items[start : start + size]))
+        start += size
+    return partitions

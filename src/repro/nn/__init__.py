@@ -1,0 +1,48 @@
+"""A compact NumPy deep-learning framework (the TensorFlow/Keras substitute).
+
+Layer-wise reverse-mode differentiation with the building blocks the paper's
+U-Net needs: im2col convolutions, ReLU, max pooling, up-convolution, dropout,
+batch norm, channel concatenation, softmax cross-entropy, SGD/Adam, weight
+checkpointing and numerical gradient checking.
+"""
+
+from .conv import Conv2D
+from .gradcheck import check_layer_gradients, numerical_gradient, relative_error
+from .im2col import col2im, conv_output_size, im2col
+from .initializers import get_initializer, glorot_uniform, he_normal, zeros
+from .layers import BatchNorm2D, Concat, Dropout, MaxPool2D, ReLU, UpConv2D, UpSample2D
+from .losses import CategoricalCrossEntropy, softmax
+from .module import Module, Parameter, Sequential
+from .optimizers import SGD, Adam, Optimizer
+from .serialization import load_weights, save_weights
+
+__all__ = [
+    "Conv2D",
+    "check_layer_gradients",
+    "numerical_gradient",
+    "relative_error",
+    "col2im",
+    "conv_output_size",
+    "im2col",
+    "get_initializer",
+    "glorot_uniform",
+    "he_normal",
+    "zeros",
+    "BatchNorm2D",
+    "Concat",
+    "Dropout",
+    "MaxPool2D",
+    "ReLU",
+    "UpConv2D",
+    "UpSample2D",
+    "CategoricalCrossEntropy",
+    "softmax",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "load_weights",
+    "save_weights",
+]

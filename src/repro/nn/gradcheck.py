@@ -1,0 +1,99 @@
+"""Numerical gradient checking for layers and losses.
+
+Used by the test suite to certify that every layer's analytic backward pass
+matches central finite differences — the correctness foundation the whole
+U-Net training stack rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["numerical_gradient", "check_layer_gradients", "relative_error"]
+
+
+def relative_error(a: np.ndarray, b: np.ndarray, eps: float = 1e-8) -> float:
+    """Max elementwise relative error, robust near zero."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = np.maximum(np.abs(a) + np.abs(b), eps)
+    return float(np.max(np.abs(a - b) / denom))
+
+
+def numerical_gradient(func: Callable[[np.ndarray], float], x: np.ndarray, h: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + h
+        f_plus = func(x)
+        x[idx] = original - h
+        f_minus = func(x)
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2.0 * h)
+        it.iternext()
+    return grad
+
+
+def check_layer_gradients(
+    layer: Module,
+    input_shape: tuple[int, ...],
+    seed: int = 0,
+    h: float = 1e-3,
+    tolerance: float = 2e-2,
+) -> dict[str, float]:
+    """Compare analytic and numerical gradients of a layer.
+
+    A random input and a random upstream gradient are drawn; the scalar test
+    function is ``sum(forward(x) * upstream)``, whose input gradient is the
+    layer's ``backward(upstream)`` and whose parameter gradients are the
+    accumulated ``param.grad`` values.
+
+    Returns a mapping of ``"input"`` and each parameter name to its relative
+    error; raises ``AssertionError`` when any error exceeds ``tolerance``.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0.0, 1.0, size=input_shape).astype(np.float64)
+    out = layer.forward(x.astype(np.float32))
+    upstream = rng.normal(0.0, 1.0, size=out.shape).astype(np.float64)
+
+    layer.zero_grad()
+    layer.forward(x.astype(np.float32))
+    analytic_input = np.asarray(layer.backward(upstream.astype(np.float32)), dtype=np.float64)
+
+    errors: dict[str, float] = {}
+
+    def loss_of_input(values: np.ndarray) -> float:
+        return float(np.sum(layer.forward(values.astype(np.float32)).astype(np.float64) * upstream))
+
+    numeric_input = numerical_gradient(loss_of_input, x.copy(), h=h)
+    errors["input"] = relative_error(analytic_input, numeric_input)
+
+    for name, param in layer.named_parameters().items():
+        layer.zero_grad()
+        layer.forward(x.astype(np.float32))
+        layer.backward(upstream.astype(np.float32))
+        analytic = param.grad.astype(np.float64).copy()
+
+        original = param.value.copy()
+
+        def loss_of_param(values: np.ndarray, _param=param) -> float:
+            _param.value = values.astype(np.float32)
+            result = float(np.sum(layer.forward(x.astype(np.float32)).astype(np.float64) * upstream))
+            return result
+
+        numeric = numerical_gradient(loss_of_param, original.astype(np.float64).copy(), h=h)
+        param.value = original
+        errors[name] = relative_error(analytic, numeric)
+
+    failures = {k: v for k, v in errors.items() if v > tolerance}
+    if failures:
+        raise AssertionError(f"gradient check failed: {failures}")
+    return errors

@@ -1,0 +1,99 @@
+"""im2col / col2im: the vectorised core of NumPy convolution.
+
+Convolution is expressed as one large matrix multiplication per batch: the
+input windows are unrolled into columns (``im2col``), multiplied by the
+flattened filter bank, and the gradient path re-folds columns back into
+images (``col2im``).  The unrolling uses ``stride_tricks`` views so no
+Python-level pixel loops are involved — the idiom the HPC optimisation guide
+recommends for stencil-style workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(f"non-positive conv output size for size={size}, kernel={kernel}, stride={stride}, pad={pad}")
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Unroll sliding windows of ``x`` into a 2-D matrix.
+
+    Parameters
+    ----------
+    x:
+        ``(N, C, H, W)`` input batch.
+    kernel_h, kernel_w, stride, pad:
+        Convolution geometry (symmetric zero padding).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N * out_h * out_w, C * kernel_h * kernel_w)`` matrix whose rows are
+        the flattened receptive fields.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    s_n, s_c, s_h, s_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> rows ordered batch-major, then spatial.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel_h * kernel_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold an im2col matrix back into an image batch, summing overlaps.
+
+    This is the adjoint of :func:`im2col` and therefore exactly the operation
+    needed to back-propagate through a convolution's input.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kernel_h * kernel_w
+    if cols.shape != (expected_rows, expected_cols):
+        raise ValueError(f"cols has shape {cols.shape}, expected {(expected_rows, expected_cols)}")
+
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    reshaped = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+    # reshaped: (N, C, kh, kw, out_h, out_w); scatter-add each kernel offset.
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += reshaped[:, :, i, j, :, :]
+
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

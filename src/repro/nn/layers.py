@@ -1,0 +1,235 @@
+"""Non-convolutional layers: activations, pooling, up-sampling, dropout, concat.
+
+Together with :class:`~repro.nn.conv.Conv2D` these are all the building
+blocks of the paper's U-Net: ReLU after every convolution, 2×2 max-pooling
+with stride 2 on the contracting path, 2× up-sampling followed by a 2×2
+convolution on the expansive path, dropout between convolutions for
+regularisation, and channel concatenation for the skip connections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .conv import Conv2D
+from .module import Module
+
+__all__ = ["ReLU", "MaxPool2D", "UpSample2D", "UpConv2D", "Dropout", "Concat", "BatchNorm2D"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0).astype(np.float32)
+
+
+class MaxPool2D(Module):
+    """2×2 (or k×k) max pooling with stride equal to the pool size."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        n, c, h, w = x.shape
+        k = self.pool_size
+        if h % k or w % k:
+            raise ValueError(f"spatial size ({h}, {w}) not divisible by pool size {k}")
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        out = reshaped.max(axis=(3, 5))
+        # Mask of the argmax positions, used to route gradients back.
+        mask = reshaped == out[:, :, :, None, :, None]
+        # Break ties (equal maxima in one window) so gradient mass is not duplicated.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        self._cache = (x.shape, mask, counts)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, mask, counts = self._cache
+        n, c, h, w = input_shape
+        k = self.pool_size
+        grad = np.asarray(grad_output, dtype=np.float32)[:, :, :, None, :, None]
+        spread = mask * grad / counts
+        return spread.reshape(n, c, h, w)
+
+
+class UpSample2D(Module):
+    """Nearest-neighbour spatial up-sampling by an integer factor."""
+
+    def __init__(self, factor: int = 2) -> None:
+        super().__init__()
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = factor
+        self._input_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._input_shape = x.shape
+        return x.repeat(self.factor, axis=2).repeat(self.factor, axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        f = self.factor
+        grad = np.asarray(grad_output, dtype=np.float32)
+        return grad.reshape(n, c, h, f, w, f).sum(axis=(3, 5))
+
+
+class UpConv2D(Module):
+    """The paper's "up-convolution": 2× up-sampling followed by a 2×2 convolution
+    that halves the number of feature channels.
+
+    A 2×2 kernel cannot be padded symmetrically while preserving spatial size,
+    so the up-sampled map is padded by one row/column on the bottom/right
+    before the unpadded convolution — the same convention Keras uses for
+    ``padding="same"`` with even kernels.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, seed: int = 0) -> None:
+        super().__init__()
+        self.upsample = UpSample2D(2)
+        self.conv = Conv2D(in_channels, out_channels, kernel_size=2, padding=0, seed=seed)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        up = self.upsample(x)
+        padded = np.pad(up, ((0, 0), (0, 0), (0, 1), (0, 1)), mode="edge")
+        return self.conv(padded)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_padded = self.conv.backward(grad_output)
+        # Fold the edge-padding gradient back onto the last real row/column.
+        grad_up = grad_padded[:, :, :-1, :-1].copy()
+        grad_up[:, :, -1, :] += grad_padded[:, :, -1, :-1]
+        grad_up[:, :, :, -1] += grad_padded[:, :, :-1, -1]
+        grad_up[:, :, -1, -1] += grad_padded[:, :, -1, -1]
+        return self.upsample.backward(grad_up)
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode."""
+
+    def __init__(self, rate: float = 0.2, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.uniform(size=x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad_output, dtype=np.float32)
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Concat(Module):
+    """Channel-wise concatenation of two feature maps (U-Net skip connections)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._split: int | None = None
+
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        if a.shape[0] != b.shape[0] or a.shape[2:] != b.shape[2:]:
+            raise ValueError(f"cannot concat shapes {a.shape} and {b.shape}")
+        self._split = a.shape[1]
+        return np.concatenate([a, b], axis=1)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        return self.forward(a, b)
+
+    def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        if self._split is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad_output, dtype=np.float32)
+        return grad[:, : self._split], grad[:, self._split :]
+
+
+class BatchNorm2D(Module):
+    """Per-channel batch normalisation (optional extension to the paper's U-Net)."""
+
+    def __init__(self, num_channels: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        from .module import Parameter  # local import to avoid re-export confusion
+
+        if num_channels < 1:
+            raise ValueError("num_channels must be >= 1")
+        self.num_channels = num_channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones((num_channels,), dtype=np.float32))
+        self.beta = Parameter(np.zeros((num_channels,), dtype=np.float32))
+        self.running_mean = np.zeros((num_channels,), dtype=np.float32)
+        self.running_var = np.ones((num_channels,), dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(f"expected (N, {self.num_channels}, H, W) input, got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        out = self.gamma.value[None, :, None, None] * x_hat + self.beta.value[None, :, None, None]
+        self._cache = (x_hat, std)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        grad = np.asarray(grad_output, dtype=np.float32)
+        n, _, h, w = grad.shape
+        m = n * h * w
+
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+
+        gamma = self.gamma.value[None, :, None, None]
+        dxhat = grad * gamma
+        # Standard batch-norm backward over the (N, H, W) statistics axes.
+        dx = (
+            dxhat
+            - dxhat.mean(axis=(0, 2, 3), keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        ) / std[None, :, None, None]
+        # Correct for using mean over m samples.
+        return dx.astype(np.float32) if m else dx

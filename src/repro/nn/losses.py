@@ -1,0 +1,88 @@
+"""Loss functions: softmax + categorical cross-entropy for per-pixel classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "CategoricalCrossEntropy"]
+
+
+def softmax(logits: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    z = np.asarray(logits, dtype=np.float64)
+    z = z - z.max(axis=axis, keepdims=True)
+    exp = np.exp(z)
+    return (exp / exp.sum(axis=axis, keepdims=True)).astype(np.float32)
+
+
+class CategoricalCrossEntropy:
+    """Softmax cross-entropy over per-pixel class logits.
+
+    ``forward(logits, targets)`` accepts ``(N, K, H, W)`` logits and either
+    integer targets ``(N, H, W)`` or one-hot targets ``(N, K, H, W)``, and
+    returns the mean loss over all pixels.  ``backward()`` returns
+    ``dL/dlogits`` with the same shape as the logits (the softmax gradient is
+    fused, as in every practical implementation).
+    """
+
+    def __init__(self, class_weights: np.ndarray | None = None) -> None:
+        self.class_weights = None if class_weights is None else np.asarray(class_weights, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float32)
+        if logits.ndim != 4:
+            raise ValueError(f"expected (N, K, H, W) logits, got shape {logits.shape}")
+        n, k, h, w = logits.shape
+
+        targets = np.asarray(targets)
+        if targets.ndim == 4:
+            if targets.shape != logits.shape:
+                raise ValueError("one-hot targets must match the logits shape")
+            target_idx = targets.argmax(axis=1)
+        elif targets.ndim == 3:
+            if targets.shape != (n, h, w):
+                raise ValueError(f"integer targets must have shape {(n, h, w)}, got {targets.shape}")
+            target_idx = targets.astype(np.intp)
+        else:
+            raise ValueError("targets must be (N, H, W) integers or (N, K, H, W) one-hot")
+        if target_idx.min() < 0 or target_idx.max() >= k:
+            raise ValueError("target class ids outside [0, num_classes)")
+
+        probs = softmax(logits, axis=1)
+        n_idx = np.arange(n)[:, None, None]
+        h_idx = np.arange(h)[None, :, None]
+        w_idx = np.arange(w)[None, None, :]
+        picked = probs[n_idx, target_idx, h_idx, w_idx]
+        picked = np.clip(picked, 1e-12, 1.0)
+
+        if self.class_weights is not None:
+            if self.class_weights.shape != (k,):
+                raise ValueError(f"class_weights must have shape ({k},)")
+            weights = self.class_weights[target_idx]
+        else:
+            weights = np.ones_like(picked, dtype=np.float32)
+
+        loss = float(-(weights * np.log(picked)).sum() / weights.sum())
+        self._cache = (probs, target_idx, weights)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target_idx, weights = self._cache
+        n, k, h, w = probs.shape
+
+        onehot = np.zeros_like(probs)
+        n_idx = np.arange(n)[:, None, None]
+        h_idx = np.arange(h)[None, :, None]
+        w_idx = np.arange(w)[None, None, :]
+        onehot[n_idx, target_idx, h_idx, w_idx] = 1.0
+
+        grad = (probs - onehot) * weights[:, None, :, :]
+        return (grad / weights.sum()).astype(np.float32)
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

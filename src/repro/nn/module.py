@@ -1,0 +1,178 @@
+"""Base module system of the NumPy deep-learning framework.
+
+A :class:`Module` owns named parameters (and their gradients), can contain
+child modules, and implements ``forward`` / ``backward``.  The design is a
+layer-wise reverse-mode framework: each layer caches what it needs during
+``forward`` and returns ``dL/dinput`` from ``backward`` while accumulating
+``dL/dparam`` — sufficient for feed-forward architectures such as U-Net and
+much simpler (and faster in NumPy) than a full tape-based autograd.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(shape={self.value.shape}, dtype={self.value.dtype})"
+
+
+class Module:
+    """Base class of all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        if not isinstance(param, Parameter):
+            raise TypeError("register_parameter expects a Parameter")
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        if not isinstance(module, Module):
+            raise TypeError("register_module expects a Module")
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        # Auto-register parameters and sub-modules assigned as attributes.
+        if isinstance(value, Parameter):
+            object.__getattribute__(self, "_parameters")[name] = value
+        elif isinstance(value, Module):
+            object.__getattribute__(self, "_modules")[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> "OrderedDict[str, Parameter]":
+        """All parameters of this module and its children, keyed by dotted path."""
+        out: "OrderedDict[str, Parameter]" = OrderedDict()
+        for name, param in self._parameters.items():
+            out[f"{prefix}{name}"] = param
+        for mod_name, module in self._modules.items():
+            out.update(module.named_parameters(prefix=f"{prefix}{mod_name}."))
+        return out
+
+    def parameters(self) -> list[Parameter]:
+        return list(self.named_parameters().values())
+
+    def modules(self) -> list["Module"]:
+        """This module plus all descendants, depth first."""
+        out: list[Module] = [self]
+        for module in self._modules.values():
+            out.extend(module.modules())
+        return out
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Training state
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        """Switch to training mode (enables dropout, batch-norm statistics updates)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Weight I/O
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value keyed by dotted path."""
+        return {name: param.value.copy() for name, param in self.named_parameters().items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict` (strict key/shape match)."""
+        params = self.named_parameters()
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.value.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.value.shape}")
+            param.value[...] = value
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """A linear chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(self.layers):
+            self.register_module(str(index), layer)
+
+    def append(self, layer: Module) -> None:
+        self.register_module(str(len(self.layers)), layer)
+        self.layers.append(layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

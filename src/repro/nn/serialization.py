@@ -1,0 +1,38 @@
+"""Model checkpoint I/O: save and load module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def save_weights(module: Module, path: str | os.PathLike) -> str:
+    """Write every parameter of ``module`` to a compressed ``.npz`` file.
+
+    Returns the path written (with ``.npz`` appended if missing).
+    """
+    path = str(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    state = module.state_dict()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_weights(module: Module, path: str | os.PathLike) -> Module:
+    """Load weights saved by :func:`save_weights` into ``module`` (strict match)."""
+    path = str(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,72 @@
+"""Parallel auto-labeling runner (the workload of Table I / Figure 10).
+
+Combines the tile stack, the cloud/shadow filter and the colour-segmentation
+labeler with :mod:`repro.parallel.pool` into a single entry point that labels
+a dataset at a configurable process count and reports the scaling table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..labeling.autolabel import autolabel_tile
+from ..metrics.scaling import ScalingPoint, ScalingTable
+from .pool import measure_scaling, parallel_map
+
+__all__ = ["AutoLabelRunConfig", "run_parallel_autolabel", "autolabel_scaling_table"]
+
+
+@dataclass(frozen=True)
+class AutoLabelRunConfig:
+    """Configuration of one parallel auto-labeling run."""
+
+    num_workers: int = 1
+    chunk_size: int | None = None
+    apply_cloud_filter: bool = True
+
+
+def _label_one(tile: np.ndarray) -> np.ndarray:
+    """Module-level worker function (picklable) with the paper's default settings."""
+    return autolabel_tile(tile, apply_cloud_filter=True)
+
+
+def _label_one_unfiltered(tile: np.ndarray) -> np.ndarray:
+    return autolabel_tile(tile, apply_cloud_filter=False)
+
+
+def run_parallel_autolabel(
+    tiles: np.ndarray,
+    config: AutoLabelRunConfig = AutoLabelRunConfig(),
+) -> tuple[np.ndarray, float]:
+    """Auto-label a ``(N, H, W, 3)`` tile stack in parallel.
+
+    Returns ``(labels, elapsed_seconds)`` with ``labels`` of shape ``(N, H, W)``.
+    """
+    stack = np.asarray(tiles)
+    if stack.ndim != 4 or stack.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3) tile stack, got shape {stack.shape}")
+    func = _label_one if config.apply_cloud_filter else _label_one_unfiltered
+    result = parallel_map(func, list(stack), num_workers=config.num_workers, chunk_size=config.chunk_size)
+    return np.stack(result.results), result.elapsed
+
+
+def autolabel_scaling_table(
+    tiles: np.ndarray,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 6, 8),
+    apply_cloud_filter: bool = True,
+) -> ScalingTable:
+    """Measure auto-labeling wall time at several process counts (Table I).
+
+    The returned :class:`~repro.metrics.scaling.ScalingTable` exposes the
+    speedup column exactly as the paper tabulates it (``S = Ts / Tp`` with
+    ``Ts`` the 1-process row).
+    """
+    stack = np.asarray(tiles)
+    func = _label_one if apply_cloud_filter else _label_one_unfiltered
+    measurements = measure_scaling(func, list(stack), worker_counts=worker_counts)
+    points = [
+        ScalingPoint(workers=m.num_workers, time=m.elapsed, items=stack.shape[0]) for m in measurements
+    ]
+    return ScalingTable(points=points, label="Python multiprocessing auto-labeling")

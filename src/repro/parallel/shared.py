@@ -1,0 +1,100 @@
+"""Shared-memory ndarray helpers for zero-copy inter-process data exchange.
+
+The mpi4py guide's core idiom — communicate raw buffers, not pickled
+objects — applies equally to multiprocessing: a 4224-tile uint8 stack is
+~800 MB and must not be serialised to every worker.  These helpers place an
+ndarray in :mod:`multiprocessing.shared_memory` so workers attach to the
+same pages, and wrap the lifecycle management (create / attach / close /
+unlink) that is easy to get wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedNDArray", "share_array"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable description of a shared array (what workers receive)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def open(self) -> "SharedNDArray":
+        """Attach to the existing shared-memory block described by this spec."""
+        return SharedNDArray.attach(self)
+
+
+class SharedNDArray:
+    """A NumPy array backed by a named shared-memory block.
+
+    Use :func:`share_array` (or :meth:`from_array`) in the parent process,
+    send the cheap :class:`SharedArraySpec` to workers, and have each worker
+    call :meth:`SharedArraySpec.open`.  The parent should call
+    :meth:`unlink` once all workers are done.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, array: np.ndarray, owner: bool) -> None:
+        self._shm = shm
+        self.array = array
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_array(cls, source: np.ndarray, name: str | None = None) -> "SharedNDArray":
+        """Create a shared-memory copy of ``source`` (the owning handle)."""
+        src = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(create=True, size=max(src.nbytes, 1), name=name)
+        array = np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf)
+        array[...] = src
+        return cls(shm, array, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SharedArraySpec) -> "SharedNDArray":
+        """Attach to an existing block (non-owning handle used by workers)."""
+        shm = shared_memory.SharedMemory(name=spec.name)
+        array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+        return cls(shm, array, owner=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> SharedArraySpec:
+        return SharedArraySpec(name=self._shm.name, shape=tuple(self.array.shape), dtype=str(self.array.dtype))
+
+    def close(self) -> None:
+        """Detach this handle (safe to call multiple times)."""
+        if not self._closed:
+            # Drop the ndarray view before closing the buffer it points into.
+            self.array = None  # type: ignore[assignment]
+            self._shm.close()
+            self._closed = True
+
+    def unlink(self) -> None:
+        """Free the underlying block (owner only; call after all workers closed)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "SharedNDArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+def share_array(source: np.ndarray) -> SharedNDArray:
+    """Create an owning shared-memory copy of ``source``."""
+    return SharedNDArray.from_array(source)

@@ -1,0 +1,23 @@
+"""U-Net model, trainer and inference pipeline for sea-ice classification."""
+
+from .blocks import DecoderBlock, DoubleConv, EncoderBlock
+from .inference import InferenceConfig, SceneClassifier, predict_tiles
+from .model import UNet, UNetConfig, build_unet, paper_unet_config, tiny_unet_config
+from .trainer import EpochStats, TrainingHistory, UNetTrainer
+
+__all__ = [
+    "DecoderBlock",
+    "DoubleConv",
+    "EncoderBlock",
+    "InferenceConfig",
+    "SceneClassifier",
+    "predict_tiles",
+    "UNet",
+    "UNetConfig",
+    "build_unet",
+    "paper_unet_config",
+    "tiny_unet_config",
+    "EpochStats",
+    "TrainingHistory",
+    "UNetTrainer",
+]

@@ -1,0 +1,96 @@
+"""U-Net building blocks: double convolution, encoder step, decoder step.
+
+The paper's architecture (Figure 7): every contracting step is two 3×3
+convolutions with ReLU followed by 2×2 max pooling; the bottleneck is the
+same without pooling; every expansive step is a 2× up-convolution, a skip
+concatenation with the matching encoder feature map and two 3×3 convolutions
+with ReLU.  Dropout layers are interleaved between convolutions for
+regularisation, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Concat, Conv2D, Dropout, MaxPool2D, Module, ReLU, UpConv2D
+
+__all__ = ["DoubleConv", "EncoderBlock", "DecoderBlock"]
+
+
+class DoubleConv(Module):
+    """Two consecutive 3×3 convolutions, each followed by ReLU, with optional dropout."""
+
+    def __init__(self, in_channels: int, out_channels: int, dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        self.conv1 = Conv2D(in_channels, out_channels, kernel_size=3, padding="same", seed=seed)
+        self.relu1 = ReLU()
+        self.dropout = Dropout(dropout, seed=seed + 1) if dropout > 0 else None
+        if self.dropout is not None:
+            self.register_module("dropout", self.dropout)
+        self.conv2 = Conv2D(out_channels, out_channels, kernel_size=3, padding="same", seed=seed + 2)
+        self.relu2 = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.relu1(self.conv1(x))
+        if self.dropout is not None:
+            x = self.dropout(x)
+        return self.relu2(self.conv2(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.conv2.backward(self.relu2.backward(grad_output))
+        if self.dropout is not None:
+            grad = self.dropout.backward(grad)
+        return self.conv1.backward(self.relu1.backward(grad))
+
+
+class EncoderBlock(Module):
+    """One contracting step: double convolution, then 2×2 max pooling.
+
+    ``forward`` returns ``(pooled, skip)`` where ``skip`` is the pre-pooling
+    feature map handed to the matching decoder step.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        self.conv = DoubleConv(in_channels, out_channels, dropout=dropout, seed=seed)
+        self.pool = MaxPool2D(2)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        skip = self.conv(x)
+        return self.pool(skip), skip
+
+    def __call__(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        return self.forward(x)
+
+    def backward(  # type: ignore[override]
+        self, grad_pooled: np.ndarray, grad_skip: np.ndarray | None = None
+    ) -> np.ndarray:
+        grad = self.pool.backward(grad_pooled)
+        if grad_skip is not None:
+            grad = grad + grad_skip
+        return self.conv.backward(grad)
+
+
+class DecoderBlock(Module):
+    """One expansive step: up-convolution, skip concatenation, double convolution."""
+
+    def __init__(self, in_channels: int, skip_channels: int, out_channels: int, dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        self.upconv = UpConv2D(in_channels, out_channels, seed=seed)
+        self.concat = Concat()
+        self.conv = DoubleConv(out_channels + skip_channels, out_channels, dropout=dropout, seed=seed + 3)
+
+    def forward(self, x: np.ndarray, skip: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        upsampled = self.upconv(x)
+        merged = self.concat(upsampled, skip)
+        return self.conv(merged)
+
+    def __call__(self, x: np.ndarray, skip: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        return self.forward(x, skip)
+
+    def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        """Returns ``(grad_wrt_input, grad_wrt_skip)``."""
+        grad_merged = self.conv.backward(grad_output)
+        grad_up, grad_skip = self.concat.backward(grad_merged)
+        grad_input = self.upconv.backward(grad_up)
+        return grad_input, grad_skip

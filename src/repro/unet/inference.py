@@ -1,0 +1,81 @@
+"""U-Net inference workflow (paper §III-C.2, Figure 9).
+
+A trained model classifies new Sentinel-2 scenes by: splitting the big scene
+into 256×256 tiles, optionally running the thin-cloud/shadow filter on each
+tile, predicting per-pixel classes, and stitching the tile predictions back
+into a full-scene classification map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloudshadow import CloudShadowFilter
+from ..data.loader import image_to_tensor
+from ..imops.resize import assemble_from_tiles, split_into_tiles
+from .model import UNet
+
+__all__ = ["InferenceConfig", "SceneClassifier", "predict_tiles"]
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Options of the scene-inference pipeline."""
+
+    tile_size: int = 256
+    apply_cloud_filter: bool = True
+    batch_size: int = 8
+
+
+def predict_tiles(
+    model: UNet,
+    tiles: np.ndarray,
+    batch_size: int = 8,
+    cloud_filter: CloudShadowFilter | None = None,
+) -> np.ndarray:
+    """Predict class maps for a ``(N, H, W, 3)`` uint8 tile stack.
+
+    When ``cloud_filter`` is given each tile is filtered before prediction,
+    which is the paper's recommended inference configuration.
+    """
+    stack = np.asarray(tiles)
+    if stack.ndim != 4 or stack.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3) tile stack, got shape {stack.shape}")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+
+    outputs = []
+    for start in range(0, stack.shape[0], batch_size):
+        batch = stack[start : start + batch_size]
+        if cloud_filter is not None:
+            batch = cloud_filter.apply_batch(batch)
+        x = image_to_tensor(batch)
+        outputs.append(model.predict(x))
+    return np.concatenate(outputs, axis=0)
+
+
+@dataclass
+class SceneClassifier:
+    """Classifies whole scenes with a trained U-Net (tile → filter → predict → stitch)."""
+
+    model: UNet
+    config: InferenceConfig = field(default_factory=InferenceConfig)
+    cloud_filter: CloudShadowFilter = field(default_factory=CloudShadowFilter)
+
+    def classify_scene(self, scene_rgb: np.ndarray) -> np.ndarray:
+        """Return the per-pixel class map of a full ``(H, W, 3)`` scene."""
+        scene = np.asarray(scene_rgb)
+        if scene.ndim != 3 or scene.shape[-1] != 3:
+            raise ValueError(f"expected (H, W, 3) scene, got shape {scene.shape}")
+        tiles, grid = split_into_tiles(scene, tile_size=self.config.tile_size)
+        filt = self.cloud_filter if self.config.apply_cloud_filter else None
+        predictions = predict_tiles(self.model, tiles, batch_size=self.config.batch_size, cloud_filter=filt)
+        stitched = assemble_from_tiles(predictions, grid)
+        return stitched[: scene.shape[0], : scene.shape[1]]
+
+    def classify_tiles(self, tiles: np.ndarray) -> np.ndarray:
+        """Classify an already-tiled stack."""
+        filt = self.cloud_filter if self.config.apply_cloud_filter else None
+        return predict_tiles(self.model, tiles, batch_size=self.config.batch_size, cloud_filter=filt)

@@ -1,0 +1,155 @@
+"""The U-Net semantic segmentation model (paper §III-C, Figure 7).
+
+The architecture is parameterised by depth (number of encoder/decoder
+steps) and base channel width so that the full paper-scale model
+(5 down-sampling steps, 64 base channels, 28 convolution layers, 256×256
+inputs) and small fast variants for tests share the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classes import NUM_CLASSES
+from ..nn import Conv2D, Module
+from ..nn.losses import softmax
+from .blocks import DecoderBlock, DoubleConv, EncoderBlock
+
+__all__ = ["UNetConfig", "UNet", "build_unet", "paper_unet_config", "tiny_unet_config"]
+
+
+@dataclass(frozen=True)
+class UNetConfig:
+    """Hyper-parameters of a U-Net instance."""
+
+    in_channels: int = 3
+    num_classes: int = NUM_CLASSES
+    depth: int = 3
+    base_channels: int = 16
+    dropout: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        if self.base_channels < 1:
+            raise ValueError("base_channels must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    def encoder_channels(self) -> list[int]:
+        """Output channel width of every encoder step."""
+        return [self.base_channels * (2**i) for i in range(self.depth)]
+
+    def min_input_size(self) -> int:
+        """Smallest spatial size the model accepts (input must be divisible by this)."""
+        return 2**self.depth
+
+
+def paper_unet_config(seed: int = 0) -> UNetConfig:
+    """The full-scale configuration described in the paper (5 steps, 64 base channels)."""
+    return UNetConfig(depth=5, base_channels=64, dropout=0.2, seed=seed)
+
+
+def tiny_unet_config(seed: int = 0) -> UNetConfig:
+    """A small configuration used by tests and quick examples."""
+    return UNetConfig(depth=2, base_channels=8, dropout=0.1, seed=seed)
+
+
+class UNet(Module):
+    """Encoder–bottleneck–decoder U-Net with skip connections."""
+
+    def __init__(self, config: UNetConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or UNetConfig()
+        cfg = self.config
+        widths = cfg.encoder_channels()
+
+        self.encoders: list[EncoderBlock] = []
+        in_ch = cfg.in_channels
+        for i, width in enumerate(widths):
+            block = EncoderBlock(in_ch, width, dropout=cfg.dropout, seed=cfg.seed + 10 * i)
+            self.register_module(f"enc{i}", block)
+            self.encoders.append(block)
+            in_ch = width
+
+        bottleneck_width = widths[-1] * 2
+        self.bottleneck = DoubleConv(in_ch, bottleneck_width, dropout=cfg.dropout, seed=cfg.seed + 1000)
+
+        self.decoders: list[DecoderBlock] = []
+        in_ch = bottleneck_width
+        for i, width in enumerate(reversed(widths)):
+            block = DecoderBlock(in_ch, skip_channels=width, out_channels=width,
+                                 dropout=cfg.dropout, seed=cfg.seed + 2000 + 10 * i)
+            self.register_module(f"dec{i}", block)
+            self.decoders.append(block)
+            in_ch = width
+
+        self.head = Conv2D(in_ch, cfg.num_classes, kernel_size=1, padding=0, seed=cfg.seed + 3000)
+        self._skips: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Return per-pixel class logits of shape ``(N, num_classes, H, W)``."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4 or x.shape[1] != self.config.in_channels:
+            raise ValueError(f"expected (N, {self.config.in_channels}, H, W) input, got shape {x.shape}")
+        step = self.config.min_input_size()
+        if x.shape[2] % step or x.shape[3] % step:
+            raise ValueError(f"input spatial size must be divisible by {step} for depth {self.config.depth}")
+
+        skips = []
+        out = x
+        for encoder in self.encoders:
+            out, skip = encoder(out)
+            skips.append(skip)
+        out = self.bottleneck(out)
+        for decoder, skip in zip(self.decoders, reversed(skips)):
+            out = decoder(out, skip)
+        self._skips = skips
+        return self.head(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/dlogits`` and return ``dL/dinput``."""
+        if self._skips is None:
+            raise RuntimeError("backward called before forward")
+        grad = self.head.backward(np.asarray(grad_output, dtype=np.float32))
+
+        skip_grads: list[np.ndarray | None] = [None] * len(self.encoders)
+        # Decoders were applied in order during forward, so backward visits
+        # them in reverse; decoder i consumed the skip of encoder (depth-1-i).
+        for i in range(len(self.decoders) - 1, -1, -1):
+            grad, grad_skip = self.decoders[i].backward(grad)
+            skip_grads[len(self.encoders) - 1 - i] = grad_skip
+
+        grad = self.bottleneck.backward(grad)
+        for encoder, grad_skip in zip(reversed(self.encoders), reversed(skip_grads)):
+            grad = encoder.backward(grad, grad_skip)
+        return grad
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities ``(N, K, H, W)`` with the model in eval mode."""
+        was_training = self.training
+        self.eval()
+        try:
+            probs = softmax(self.forward(np.asarray(x, dtype=np.float32)), axis=1)
+        finally:
+            if was_training:
+                self.train()
+        return probs
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Per-pixel class predictions ``(N, H, W)`` (uint8)."""
+        return self.predict_proba(x).argmax(axis=1).astype(np.uint8)
+
+    def num_conv_layers(self) -> int:
+        """Number of convolution layers in the model (28 for the paper configuration)."""
+        return sum(1 for m in self.modules() if isinstance(m, Conv2D))
+
+
+def build_unet(config: UNetConfig | None = None) -> UNet:
+    """Factory mirroring the paper's model construction step."""
+    return UNet(config)

@@ -1,0 +1,16 @@
+"""End-to-end workflows: auto-labeling at scale, accuracy experiments, data preparation."""
+
+from .autolabel import AutoLabelWorkflow, AutoLabelWorkflowConfig, AutoLabelWorkflowResult
+from .preparation import PreparationTiming, run_preparation_pipeline
+from .training import AccuracyExperimentConfig, AccuracyExperimentResult, run_accuracy_experiment
+
+__all__ = [
+    "AutoLabelWorkflow",
+    "AutoLabelWorkflowConfig",
+    "AutoLabelWorkflowResult",
+    "PreparationTiming",
+    "run_preparation_pipeline",
+    "AccuracyExperimentConfig",
+    "AccuracyExperimentResult",
+    "run_accuracy_experiment",
+]

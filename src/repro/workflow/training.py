@@ -1,0 +1,229 @@
+"""The U-Net-Man vs U-Net-Auto accuracy experiment (Tables IV, V and Figure 13).
+
+The paper's central validation: train one U-Net on manually labelled tiles
+and one on auto-labelled tiles, then evaluate both against the manual ground
+truth of a held-out test set, once on the original (possibly cloudy) images
+and once on the thin-cloud/shadow-filtered images, with an extra breakdown
+of the test set by cloud coverage.  This module runs that whole experiment
+on the synthetic archive and returns every number those tables and the
+confusion-matrix figure need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..classes import CLASS_NAMES, SeaIceClass
+from ..cloudshadow import CloudShadowFilter
+from ..data.catalog import TileDataset, build_dataset, train_test_split
+from ..data.loader import BatchLoader
+from ..labeling.autolabel import autolabel_batch
+from ..labeling.manual import simulate_manual_labels
+from ..metrics.classification import ClassificationReport, classification_report
+from ..unet.model import UNet, UNetConfig
+from ..unet.trainer import UNetTrainer
+from .autolabel import AutoLabelWorkflow, AutoLabelWorkflowConfig
+
+__all__ = ["AccuracyExperimentConfig", "AccuracyExperimentResult", "run_accuracy_experiment"]
+
+_CLASS_NAMES = [CLASS_NAMES[SeaIceClass(i)] for i in range(len(SeaIceClass))]
+
+
+@dataclass(frozen=True)
+class AccuracyExperimentConfig:
+    """Scale knobs of the accuracy experiment.
+
+    The defaults run in a couple of minutes on a laptop CPU; the paper-scale
+    configuration (66 scenes of 2048², 256-pixel tiles, depth-5/64-channel
+    U-Net, 50 epochs) uses the same code path.
+    """
+
+    num_scenes: int = 6
+    scene_size: int = 128
+    tile_size: int = 32
+    cloudy_fraction: float = 0.5
+    test_fraction: float = 0.2
+    epochs: int = 30
+    batch_size: int = 8
+    learning_rate: float = 2e-3
+    unet_depth: int = 3
+    unet_base_channels: int = 12
+    unet_dropout: float = 0.1
+    cloud_split_threshold: float = 0.10
+    seed: int = 0
+
+    def unet_config(self, seed_offset: int = 0) -> UNetConfig:
+        return UNetConfig(
+            depth=self.unet_depth,
+            base_channels=self.unet_base_channels,
+            dropout=self.unet_dropout,
+            seed=self.seed + seed_offset,
+        )
+
+
+@dataclass
+class AccuracyExperimentResult:
+    """Everything Tables IV/V and Figure 13 report, for both models."""
+
+    config: AccuracyExperimentConfig
+    unet_man: UNet
+    unet_auto: UNet
+    #: {"original" | "filtered"} -> {"man" | "auto"} -> ClassificationReport  (Table IV)
+    table4: dict = field(default_factory=dict)
+    #: {"cloudy" | "clear"} -> {"original" | "filtered"} -> {"man" | "auto"} -> report (Table V)
+    table5: dict = field(default_factory=dict)
+    #: auto-label quality on the training split (the Fig 11 / SSIM result)
+    autolabel_ssim: float = 0.0
+    autolabel_agreement: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def table4_rows(self) -> list[dict]:
+        """Rows in the layout of the paper's Table IV (percent accuracy)."""
+        rows = []
+        for variant, label in (("original", "Original S2 images"), ("filtered", "S2 images with thin cloud and shadow filtered")):
+            rows.append(
+                {
+                    "dataset": label,
+                    "unet_man_accuracy_pct": round(self.table4[variant]["man"].accuracy * 100, 2),
+                    "unet_auto_accuracy_pct": round(self.table4[variant]["auto"].accuracy * 100, 2),
+                }
+            )
+        return rows
+
+    def table5_rows(self) -> list[dict]:
+        """Rows in the layout of the paper's Table V."""
+        rows = []
+        labels = {"cloudy": "More than ~10% cloud and shadow cover", "clear": "Less than ~10% cloud and shadow cover"}
+        for split in ("cloudy", "clear"):
+            for variant in ("original", "filtered"):
+                reports = self.table5[split].get(variant)
+                if reports is None:
+                    continue
+                rows.append(
+                    {
+                        "dataset": labels[split],
+                        "images": f"{variant} images",
+                        "unet_man_accuracy_pct": round(reports["man"].accuracy * 100, 2),
+                        "unet_auto_accuracy_pct": round(reports["auto"].accuracy * 100, 2),
+                    }
+                )
+        return rows
+
+    def confusion_matrices(self) -> dict:
+        """Row-normalised confusion matrices (percent) for Figure 13."""
+        out = {}
+        for variant in ("original", "filtered"):
+            for model in ("man", "auto"):
+                out[f"{model}_{variant}"] = np.round(self.table4[variant][model].confusion_percent, 2)
+        return out
+
+
+# --------------------------------------------------------------------------- #
+def _train_model(
+    config: AccuracyExperimentConfig,
+    images: np.ndarray,
+    labels: np.ndarray,
+    seed_offset: int,
+) -> UNetTrainer:
+    trainer = UNetTrainer(config=config.unet_config(seed_offset), learning_rate=config.learning_rate)
+    loader = BatchLoader(
+        images,
+        labels,
+        batch_size=config.batch_size,
+        shuffle=True,
+        augment=True,
+        seed=config.seed + seed_offset,
+    )
+    trainer.fit(loader, epochs=config.epochs)
+    return trainer
+
+
+def _evaluate(trainer: UNetTrainer, images: np.ndarray, labels: np.ndarray) -> ClassificationReport:
+    return trainer.evaluate(images, labels, class_names=_CLASS_NAMES)
+
+
+def run_accuracy_experiment(
+    config: AccuracyExperimentConfig = AccuracyExperimentConfig(),
+    dataset: TileDataset | None = None,
+) -> AccuracyExperimentResult:
+    """Run the full U-Net-Man vs U-Net-Auto comparison.
+
+    Steps (mirroring Figure 2 of the paper):
+
+    1. build (or accept) the tile dataset with ground truth;
+    2. derive simulated manual labels and colour-segmentation auto-labels
+       (auto-labels are computed on cloud/shadow-filtered tiles);
+    3. split 80/20 into train / test tiles;
+    4. train U-Net-Man on the manual labels and U-Net-Auto on the auto labels
+       (both on filtered training imagery, as in the paper's workflow);
+    5. evaluate both models against manual ground truth on the original and
+       the filtered test imagery, overall (Table IV) and split by cloud
+       coverage (Table V), with per-class confusion matrices (Figure 13).
+    """
+    if dataset is None:
+        dataset = build_dataset(
+            num_scenes=config.num_scenes,
+            scene_size=config.scene_size,
+            tile_size=config.tile_size,
+            base_seed=config.seed,
+            cloudy_fraction=config.cloudy_fraction,
+        )
+
+    train_ds, test_ds = train_test_split(dataset, test_fraction=config.test_fraction, seed=config.seed)
+
+    # --- labels for training -------------------------------------------------
+    manual_train = simulate_manual_labels(train_ds.labels, seed=config.seed)
+    autolabel_workflow = AutoLabelWorkflow(AutoLabelWorkflowConfig(backend="serial", apply_cloud_filter=True))
+    auto_result = autolabel_workflow.run(train_ds, manual_labels=manual_train)
+    auto_train = auto_result.auto_labels
+
+    # --- training imagery: thin-cloud/shadow-filtered tiles ------------------
+    cloud_filter = CloudShadowFilter()
+    train_filtered = cloud_filter.apply_batch(train_ds.images)
+    test_filtered = cloud_filter.apply_batch(test_ds.images)
+
+    trainer_man = _train_model(config, train_filtered, manual_train, seed_offset=1)
+    trainer_auto = _train_model(config, train_filtered, auto_train, seed_offset=2)
+
+    # --- evaluation -----------------------------------------------------------
+    # Ground truth of the test tiles plays the role of the manual validation labels.
+    test_truth = test_ds.labels
+    table4 = {
+        "original": {
+            "man": _evaluate(trainer_man, test_ds.images, test_truth),
+            "auto": _evaluate(trainer_auto, test_ds.images, test_truth),
+        },
+        "filtered": {
+            "man": _evaluate(trainer_man, test_filtered, test_truth),
+            "auto": _evaluate(trainer_auto, test_filtered, test_truth),
+        },
+    }
+
+    cloudy_ds, clear_ds = test_ds.split_by_cloud_coverage(config.cloud_split_threshold)
+    table5: dict = {"cloudy": {}, "clear": {}}
+    for split_name, split_ds in (("cloudy", cloudy_ds), ("clear", clear_ds)):
+        if len(split_ds) == 0:
+            continue
+        split_filtered = cloud_filter.apply_batch(split_ds.images)
+        table5[split_name] = {
+            "original": {
+                "man": _evaluate(trainer_man, split_ds.images, split_ds.labels),
+                "auto": _evaluate(trainer_auto, split_ds.images, split_ds.labels),
+            },
+            "filtered": {
+                "man": _evaluate(trainer_man, split_filtered, split_ds.labels),
+                "auto": _evaluate(trainer_auto, split_filtered, split_ds.labels),
+            },
+        }
+
+    return AccuracyExperimentResult(
+        config=config,
+        unet_man=trainer_man.model,
+        unet_auto=trainer_auto.model,
+        table4=table4,
+        table5=table5,
+        autolabel_ssim=auto_result.ssim_vs_manual,
+        autolabel_agreement=auto_result.pixel_agreement,
+    )

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (tiny scenes and tiles) so the whole
+suite stays fast; the paper-scale paths are exercised by the benchmark
+harness instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SceneSpec, build_dataset, synthesize_scene, train_test_split
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def clear_scene():
+    """A small scene without clouds or shadows."""
+    return synthesize_scene(SceneSpec(height=96, width=96, cloud_coverage=0.0, seed=7))
+
+
+@pytest.fixture(scope="session")
+def cloudy_scene():
+    """A small scene with a substantial thin-cloud bank and shadows."""
+    return synthesize_scene(
+        SceneSpec(height=96, width=96, cloud_coverage=0.35, cloud_max_opacity=0.55, shadow_max_opacity=0.5, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tile dataset of 2 small scenes cut into 32x32 tiles (8 tiles)."""
+    return build_dataset(num_scenes=2, scene_size=64, tile_size=32, base_seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return train_test_split(tiny_dataset, test_fraction=0.25, seed=0)
+
+
+@pytest.fixture(scope="session")
+def rgb_image(rng) -> np.ndarray:
+    """A random uint8 RGB image for generic image-op tests."""
+    return rng.integers(0, 256, size=(40, 56, 3), dtype=np.uint8)
+
+
+@pytest.fixture(scope="session")
+def gray_image(rng) -> np.ndarray:
+    return rng.integers(0, 256, size=(48, 40), dtype=np.uint8)

@@ -1,0 +1,46 @@
+"""Tests for the repro-seaice command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_autolabel_defaults(self):
+        args = build_parser().parse_args(["autolabel"])
+        assert args.backend == "serial"
+        assert args.scenes == 4
+
+    def test_scaling_table_choices(self):
+        args = build_parser().parse_args(["scaling", "--table", "2"])
+        assert args.table == "2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scaling", "--table", "9"])
+
+    def test_train_arguments(self):
+        args = build_parser().parse_args(["train", "--scenes", "3", "--epochs", "5"])
+        assert args.scenes == 3 and args.epochs == 5
+
+
+class TestCommands:
+    def test_autolabel_command_runs(self, capsys):
+        code = main(["autolabel", "--scenes", "1", "--scene-size", "64", "--tile-size", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ssim_vs_manual" in out
+
+    def test_scaling_tables_2_and_3(self, capsys):
+        assert main(["scaling", "--table", "2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+        assert main(["scaling", "--table", "3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_prep_command_runs(self, capsys):
+        assert main(["prep", "--scenes", "1", "--scene-size", "64", "--tile-size", "32"]) == 0
+        assert "seconds_per_scene" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for repro.cloudshadow (detection, removal, pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloudshadow import (
+    CloudShadowFilter,
+    ThinCloudShadowRemover,
+    detect_cloud_shadow,
+    estimate_coverage,
+    filter_tiles,
+)
+from repro.metrics import accuracy_score, ssim
+
+
+class TestDetection:
+    def test_clear_scene_low_coverage(self, clear_scene):
+        masks = detect_cloud_shadow(clear_scene.rgb)
+        assert masks.coverage < 0.05
+
+    def test_cloudy_scene_detected(self, cloudy_scene):
+        masks = detect_cloud_shadow(cloudy_scene.rgb)
+        assert masks.coverage > 0.10
+
+    def test_detected_coverage_correlates_with_truth(self, clear_scene, cloudy_scene):
+        assert estimate_coverage(cloudy_scene.rgb) > estimate_coverage(clear_scene.rgb)
+
+    def test_masks_are_boolean_and_shaped(self, cloudy_scene):
+        masks = detect_cloud_shadow(cloudy_scene.rgb)
+        assert masks.cloud.dtype == bool and masks.shadow.dtype == bool
+        assert masks.cloud.shape == cloudy_scene.rgb.shape[:2]
+        np.testing.assert_array_equal(masks.affected, masks.cloud | masks.shadow)
+
+    def test_rejects_gray_input(self, gray_image):
+        with pytest.raises(ValueError):
+            detect_cloud_shadow(gray_image)
+
+    def test_detected_clouds_overlap_true_clouds(self, cloudy_scene):
+        masks = detect_cloud_shadow(cloudy_scene.rgb)
+        true_cloud = cloudy_scene.veil.cloud_alpha > 0.15
+        if masks.cloud.any() and true_cloud.any():
+            overlap = (masks.cloud & true_cloud).sum() / masks.cloud.sum()
+            assert overlap > 0.4
+
+
+class TestRemoval:
+    def test_clean_scene_nearly_unchanged(self, clear_scene):
+        remover = ThinCloudShadowRemover()
+        out = remover.remove(clear_scene.rgb)
+        assert np.abs(out.astype(int) - clear_scene.rgb.astype(int)).mean() < 8
+
+    def test_filter_recovers_clean_radiometry(self, cloudy_scene):
+        remover = ThinCloudShadowRemover()
+        filtered = remover.remove(cloudy_scene.rgb)
+        err_before = np.abs(cloudy_scene.rgb.astype(int) - cloudy_scene.clean_rgb.astype(int)).mean()
+        err_after = np.abs(filtered.astype(int) - cloudy_scene.clean_rgb.astype(int)).mean()
+        # The veil error must drop substantially (thick ice under thin cloud is
+        # radiometrically ambiguous, so perfect restoration is not expected).
+        assert err_after < err_before * 0.6
+
+    def test_filter_improves_ssim(self, cloudy_scene):
+        remover = ThinCloudShadowRemover()
+        filtered = remover.remove(cloudy_scene.rgb)
+        assert ssim(filtered, cloudy_scene.clean_rgb) > ssim(cloudy_scene.rgb, cloudy_scene.clean_rgb)
+
+    def test_estimate_finds_veil_where_it_is(self, cloudy_scene):
+        est = ThinCloudShadowRemover().estimate(cloudy_scene.rgb)
+        true_cloud = cloudy_scene.veil.cloud_alpha
+        # Estimated opacity should be much larger inside the true cloud bank.
+        inside = est.cloud_alpha[true_cloud > 0.3]
+        outside = est.cloud_alpha[true_cloud < 0.02]
+        if inside.size and outside.size:
+            assert inside.mean() > outside.mean() + 0.1
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ThinCloudShadowRemover().estimate(np.zeros((4, 4)))
+
+    def test_rejects_bad_prototypes(self):
+        with pytest.raises(ValueError):
+            ThinCloudShadowRemover(surface_prototypes=np.zeros((3, 2)))
+
+    def test_callable_alias(self, cloudy_scene):
+        remover = ThinCloudShadowRemover()
+        np.testing.assert_array_equal(remover(cloudy_scene.rgb), remover.remove(cloudy_scene.rgb))
+
+
+class TestFilterPipeline:
+    def test_apply_returns_all_products(self, cloudy_scene):
+        result = CloudShadowFilter().apply(cloudy_scene.rgb)
+        assert result.filtered.shape == cloudy_scene.rgb.shape
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.veil.cloud_alpha.shape == cloudy_scene.rgb.shape[:2]
+
+    def test_apply_batch_shape(self, tiny_dataset):
+        out = CloudShadowFilter().apply_batch(tiny_dataset.images)
+        assert out.shape == tiny_dataset.images.shape
+        assert out.dtype == np.uint8
+
+    def test_apply_batch_rejects_bad_shape(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            CloudShadowFilter().apply_batch(tiny_dataset.labels)
+
+    def test_filter_tiles_helper(self, tiny_dataset):
+        out = filter_tiles(tiny_dataset.images[:2])
+        assert out.shape == tiny_dataset.images[:2].shape
+
+    def test_filtering_improves_autolabel_accuracy(self, cloudy_scene):
+        """The central claim of the paper's filter: labels on filtered imagery are better."""
+        from repro.labeling import ColorSegmentationLabeler
+
+        raw_labels = ColorSegmentationLabeler(apply_cloud_filter=False)(cloudy_scene.rgb)
+        filtered_labels = ColorSegmentationLabeler(apply_cloud_filter=True)(cloudy_scene.rgb)
+        raw_acc = accuracy_score(cloudy_scene.class_map, raw_labels)
+        filtered_acc = accuracy_score(cloudy_scene.class_map, filtered_labels)
+        assert filtered_acc > raw_acc

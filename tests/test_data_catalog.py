@@ -1,0 +1,95 @@
+"""Tests for repro.data.catalog (tile datasets and splits)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset, tiles_from_scenes, train_test_split
+from repro.data.scene import SceneSpec, synthesize_scene
+
+
+class TestTilesFromScenes:
+    def test_tile_count_matches_grid(self):
+        scenes = [synthesize_scene(SceneSpec(height=64, width=96, seed=i)) for i in range(2)]
+        ds = tiles_from_scenes(scenes, tile_size=32)
+        assert len(ds) == 2 * 2 * 3
+        assert ds.images.shape == (12, 32, 32, 3)
+        assert ds.labels.shape == (12, 32, 32)
+
+    def test_records_reference_scenes(self):
+        scenes = [synthesize_scene(SceneSpec(height=64, width=64, seed=i)) for i in range(3)]
+        ds = tiles_from_scenes(scenes, tile_size=32)
+        assert {r.scene_index for r in ds.records} == {0, 1, 2}
+        assert all(0.0 <= r.cloud_shadow_fraction <= 1.0 for r in ds.records)
+
+    def test_empty_scene_list_raises(self):
+        with pytest.raises(ValueError):
+            tiles_from_scenes([], tile_size=32)
+
+
+class TestTileDataset:
+    def test_build_dataset_shapes(self, tiny_dataset):
+        assert len(tiny_dataset) == 8
+        assert tiny_dataset.tile_size == 32
+        assert tiny_dataset.images.dtype == np.uint8
+        assert tiny_dataset.clean_images.shape == tiny_dataset.images.shape
+
+    def test_subset_preserves_alignment(self, tiny_dataset):
+        sub = tiny_dataset.subset([3, 1])
+        np.testing.assert_array_equal(sub.images[0], tiny_dataset.images[3])
+        np.testing.assert_array_equal(sub.labels[1], tiny_dataset.labels[1])
+        assert sub.records[0].tile_index == tiny_dataset.records[3].tile_index
+
+    def test_class_distribution_sums_to_one(self, tiny_dataset):
+        dist = tiny_dataset.class_distribution()
+        assert dist.shape == (3,)
+        assert np.isclose(dist.sum(), 1.0)
+
+    def test_split_by_cloud_coverage_partitions(self):
+        ds = build_dataset(num_scenes=4, scene_size=64, tile_size=32, base_seed=9, cloudy_fraction=0.8)
+        cloudy, clear = ds.split_by_cloud_coverage(0.10)
+        assert len(cloudy) + len(clear) == len(ds)
+        assert all(r.cloud_shadow_fraction > 0.10 for r in cloudy.records)
+        assert all(r.cloud_shadow_fraction <= 0.10 for r in clear.records)
+
+    def test_mismatched_lengths_raise(self, tiny_dataset):
+        from repro.data import TileDataset
+
+        with pytest.raises(ValueError):
+            TileDataset(
+                images=tiny_dataset.images,
+                clean_images=tiny_dataset.clean_images,
+                labels=tiny_dataset.labels[:-1],
+                records=tiny_dataset.records,
+            )
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, tiny_dataset):
+        train, test = train_test_split(tiny_dataset, test_fraction=0.25, seed=1)
+        assert len(test) == 2
+        assert len(train) == 6
+
+    def test_disjoint_and_exhaustive(self, tiny_dataset):
+        train, test = train_test_split(tiny_dataset, test_fraction=0.25, seed=1)
+        train_keys = {(r.scene_index, r.tile_index) for r in train.records}
+        test_keys = {(r.scene_index, r.tile_index) for r in test.records}
+        assert not train_keys & test_keys
+        assert len(train_keys | test_keys) == len(tiny_dataset)
+
+    def test_reproducible(self, tiny_dataset):
+        a_train, _ = train_test_split(tiny_dataset, seed=5)
+        b_train, _ = train_test_split(tiny_dataset, seed=5)
+        np.testing.assert_array_equal(a_train.images, b_train.images)
+
+    def test_different_seeds_differ(self, tiny_dataset):
+        a_train, _ = train_test_split(tiny_dataset, seed=1)
+        b_train, _ = train_test_split(tiny_dataset, seed=2)
+        assert not np.array_equal(a_train.images, b_train.images)
+
+    def test_rejects_bad_fraction(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            train_test_split(tiny_dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(tiny_dataset, test_fraction=1.0)

@@ -1,0 +1,43 @@
+"""Tests for repro.data.io (dataset persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, save_dataset, train_test_split
+
+
+class TestDatasetIO:
+    def test_round_trip(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "archive")
+        assert path.endswith(".npz")
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.images, tiny_dataset.images)
+        np.testing.assert_array_equal(loaded.clean_images, tiny_dataset.clean_images)
+        np.testing.assert_array_equal(loaded.labels, tiny_dataset.labels)
+        assert len(loaded.records) == len(tiny_dataset.records)
+        for a, b in zip(loaded.records, tiny_dataset.records):
+            assert (a.scene_index, a.tile_index) == (b.scene_index, b.tile_index)
+            assert a.cloud_shadow_fraction == pytest.approx(b.cloud_shadow_fraction)
+
+    def test_loaded_dataset_supports_splits(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "archive.npz")
+        loaded = load_dataset(path)
+        train, test = train_test_split(loaded, test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(tiny_dataset)
+
+    def test_load_without_suffix(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "archive")
+        loaded = load_dataset(tmp_path / "archive")
+        assert len(loaded) == len(tiny_dataset)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "does_not_exist.npz")
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, something=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_dataset(path)

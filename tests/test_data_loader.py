@@ -1,0 +1,120 @@
+"""Tests for repro.data.loader (tensors, one-hot, augmentation, batching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, augment_pair, image_to_tensor, labels_to_onehot
+
+
+class TestImageToTensor:
+    def test_batch_conversion(self, tiny_dataset):
+        x = image_to_tensor(tiny_dataset.images)
+        assert x.shape == (len(tiny_dataset), 3, 32, 32)
+        assert x.dtype == np.float32
+        assert x.min() >= 0.0 and x.max() <= 1.0
+
+    def test_single_image(self, rgb_image):
+        x = image_to_tensor(rgb_image)
+        assert x.shape == (3,) + rgb_image.shape[:2]
+
+    def test_values_scaled(self):
+        img = np.full((4, 4, 3), 255, dtype=np.uint8)
+        assert np.all(image_to_tensor(img) == 1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            image_to_tensor(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestOneHot:
+    def test_shape_and_partition(self):
+        labels = np.random.default_rng(0).integers(0, 3, size=(2, 8, 8))
+        onehot = labels_to_onehot(labels)
+        assert onehot.shape == (2, 3, 8, 8)
+        np.testing.assert_allclose(onehot.sum(axis=1), 1.0)
+
+    def test_argmax_recovers_labels(self):
+        labels = np.random.default_rng(1).integers(0, 3, size=(3, 6, 6))
+        np.testing.assert_array_equal(labels_to_onehot(labels).argmax(axis=1), labels)
+
+    def test_single_map(self):
+        labels = np.zeros((8, 8), dtype=np.uint8)
+        assert labels_to_onehot(labels).shape == (3, 8, 8)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            labels_to_onehot(np.full((2, 2), 7))
+
+
+class TestAugmentPair:
+    def test_image_and_label_stay_aligned(self):
+        rng = np.random.default_rng(0)
+        label = rng.integers(0, 3, size=(16, 16)).astype(np.int64)
+        image = label[None].astype(np.float32).repeat(3, axis=0)  # image encodes the label
+        for seed in range(5):
+            aug_img, aug_lab = augment_pair(image, label, np.random.default_rng(seed))
+            np.testing.assert_array_equal(aug_img[0].astype(np.int64), aug_lab)
+
+    def test_preserves_shapes(self):
+        image = np.zeros((3, 8, 8), dtype=np.float32)
+        label = np.zeros((8, 8), dtype=np.int64)
+        aug_img, aug_lab = augment_pair(image, label, np.random.default_rng(1))
+        assert aug_img.shape == image.shape and aug_lab.shape == label.shape
+
+    def test_preserves_class_histogram(self):
+        rng = np.random.default_rng(2)
+        label = rng.integers(0, 3, size=(12, 12)).astype(np.int64)
+        image = np.zeros((3, 12, 12), dtype=np.float32)
+        _, aug_lab = augment_pair(image, label, np.random.default_rng(3))
+        np.testing.assert_array_equal(np.bincount(aug_lab.ravel(), minlength=3),
+                                      np.bincount(label.ravel(), minlength=3))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            augment_pair(np.zeros((3, 8, 8)), np.zeros((6, 6)), np.random.default_rng(0))
+
+
+class TestBatchLoader:
+    def test_iteration_covers_all_samples(self, tiny_dataset):
+        loader = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=3, shuffle=False)
+        total = sum(x.shape[0] for x, _ in loader)
+        assert total == len(tiny_dataset)
+        assert len(loader) == 3  # 8 tiles in batches of 3 -> 3 batches
+
+    def test_drop_last(self, tiny_dataset):
+        loader = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=3, drop_last=True)
+        assert len(loader) == 2
+        total = sum(x.shape[0] for x, _ in loader)
+        assert total == 6
+
+    def test_batch_types(self, tiny_dataset):
+        loader = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=4, shuffle=False)
+        x, y = next(iter(loader))
+        assert x.dtype == np.float32 and x.shape[1] == 3
+        assert y.dtype == np.int64 and y.shape == (4, 32, 32)
+
+    def test_shuffle_changes_order_but_not_content(self, tiny_dataset):
+        loader = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=8, shuffle=True, seed=3)
+        x1, y1 = next(iter(loader))
+        x2, y2 = next(iter(loader))
+        assert np.isclose(np.sort(y1.ravel()).sum(), np.sort(y2.ravel()).sum())
+
+    def test_deterministic_without_shuffle(self, tiny_dataset):
+        a = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=4, shuffle=False)
+        b = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=4, shuffle=False)
+        np.testing.assert_array_equal(next(iter(a))[0], next(iter(b))[0])
+
+    def test_augment_does_not_change_class_set(self, tiny_dataset):
+        loader = BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=8, augment=True, seed=1)
+        _, y = next(iter(loader))
+        assert set(np.unique(y)).issubset({0, 1, 2})
+
+    def test_rejects_empty_or_mismatched(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_dataset.images[:0], tiny_dataset.labels[:0])
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_dataset.images, tiny_dataset.labels[:-1])
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_dataset.images, tiny_dataset.labels, batch_size=0)

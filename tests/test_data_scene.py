@@ -1,0 +1,103 @@
+"""Tests for repro.data.scene (scene synthesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classes import NUM_CLASSES, SeaIceClass
+from repro.data import Scene, SceneSpec, synthesize_scene, synthesize_scenes
+
+
+class TestSceneSpec:
+    def test_defaults_valid(self):
+        spec = SceneSpec()
+        assert sum(spec.normalized_fractions) == pytest.approx(1.0)
+
+    def test_rejects_tiny_scene(self):
+        with pytest.raises(ValueError):
+            SceneSpec(height=4, width=4)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            SceneSpec(class_fractions=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            SceneSpec(class_fractions=(-0.1, 0.5, 0.6))
+
+    def test_rejects_bad_cloud_coverage(self):
+        with pytest.raises(ValueError):
+            SceneSpec(cloud_coverage=1.4)
+
+    def test_fraction_normalisation(self):
+        spec = SceneSpec(class_fractions=(2.0, 1.0, 1.0))
+        assert spec.normalized_fractions == pytest.approx((0.5, 0.25, 0.25))
+
+
+class TestSynthesizeScene:
+    def test_shapes_and_dtypes(self, cloudy_scene):
+        assert cloudy_scene.rgb.shape == (96, 96, 3)
+        assert cloudy_scene.rgb.dtype == np.uint8
+        assert cloudy_scene.clean_rgb.shape == (96, 96, 3)
+        assert cloudy_scene.class_map.shape == (96, 96)
+        assert set(np.unique(cloudy_scene.class_map)).issubset(set(range(NUM_CLASSES)))
+
+    def test_deterministic_given_seed(self):
+        spec = SceneSpec(height=48, width=48, seed=9)
+        a, b = synthesize_scene(spec), synthesize_scene(spec)
+        np.testing.assert_array_equal(a.rgb, b.rgb)
+        np.testing.assert_array_equal(a.class_map, b.class_map)
+
+    def test_class_fractions_respected(self):
+        spec = SceneSpec(height=128, width=128, class_fractions=(0.6, 0.25, 0.15), cloud_coverage=0.0, seed=1)
+        scene = synthesize_scene(spec)
+        fractions = np.bincount(scene.class_map.ravel(), minlength=3) / scene.class_map.size
+        assert abs(fractions[int(SeaIceClass.THICK_ICE)] - 0.6) < 0.03
+        assert abs(fractions[int(SeaIceClass.OPEN_WATER)] - 0.15) < 0.03
+
+    def test_clear_scene_has_no_veil(self, clear_scene):
+        assert clear_scene.cloud_shadow_fraction == 0.0
+        np.testing.assert_array_equal(clear_scene.rgb, clear_scene.clean_rgb)
+
+    def test_cloudy_scene_differs_from_clean(self, cloudy_scene):
+        assert cloudy_scene.cloud_shadow_fraction > 0.05
+        assert not np.array_equal(cloudy_scene.rgb, cloudy_scene.clean_rgb)
+
+    def test_clouds_brighten_and_shadows_darken(self, cloudy_scene):
+        veil = cloudy_scene.veil
+        clean = cloudy_scene.clean_rgb.astype(int).mean(axis=-1)
+        observed = cloudy_scene.rgb.astype(int).mean(axis=-1)
+        cloud_only = (veil.cloud_alpha > 0.2) & (veil.shadow_alpha < 0.02)
+        shadow_only = (veil.shadow_alpha > 0.2) & (veil.cloud_alpha < 0.02)
+        if cloud_only.any():
+            assert (observed - clean)[cloud_only].mean() > 0
+        if shadow_only.any():
+            assert (observed - clean)[shadow_only].mean() < 0
+
+    def test_scene_shape_property(self, clear_scene):
+        assert clear_scene.shape == (96, 96)
+
+
+class TestSynthesizeScenes:
+    def test_count_and_variety(self):
+        scenes = synthesize_scenes(5, height=64, width=64, base_seed=0, cloudy_fraction=0.6)
+        assert len(scenes) == 5
+        fractions = [s.cloud_shadow_fraction for s in scenes]
+        assert max(fractions) > min(fractions)
+
+    def test_all_are_scene_instances(self):
+        scenes = synthesize_scenes(2, height=32, width=32)
+        assert all(isinstance(s, Scene) for s in scenes)
+
+    def test_cloudy_fraction_zero_gives_mostly_clear(self):
+        scenes = synthesize_scenes(4, height=64, width=64, base_seed=2, cloudy_fraction=0.0)
+        assert all(s.cloud_shadow_fraction < 0.15 for s in scenes)
+
+    def test_rejects_zero_scenes(self):
+        with pytest.raises(ValueError):
+            synthesize_scenes(0)
+
+    def test_reproducible(self):
+        a = synthesize_scenes(2, height=32, width=32, base_seed=11)
+        b = synthesize_scenes(2, height=32, width=32, base_seed=11)
+        np.testing.assert_array_equal(a[0].rgb, b[0].rgb)
+        np.testing.assert_array_equal(a[1].class_map, b[1].class_map)

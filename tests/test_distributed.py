@@ -1,0 +1,243 @@
+"""Tests for repro.distributed (all-reduce, Horovod API, data parallelism, DGX model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BatchLoader
+from repro.distributed import (
+    DGXTrainingModel,
+    DataParallelTrainer,
+    DistributedOptimizer,
+    PipeRingAllReducer,
+    ShardedBatches,
+    WorkerGroup,
+    broadcast_parameters,
+    naive_allreduce,
+    paper_table3,
+    ring_allreduce,
+)
+from repro.nn import SGD
+from repro.unet import UNet, UNetConfig, UNetTrainer, tiny_unet_config
+
+
+class TestRingAllReduce:
+    def test_matches_mean(self):
+        rng = np.random.default_rng(0)
+        buffers = [rng.normal(size=(33,)) for _ in range(4)]
+        reduced, _ = ring_allreduce(buffers)
+        expected = np.mean(buffers, axis=0)
+        for out in reduced:
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_sum_mode(self):
+        buffers = [np.ones(5), 2 * np.ones(5)]
+        reduced, _ = ring_allreduce(buffers, average=False)
+        np.testing.assert_allclose(reduced[0], 3.0)
+
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(1)
+        buffers = [rng.normal(size=(4, 7)) for _ in range(5)]
+        ring, _ = ring_allreduce(buffers)
+        naive, _ = naive_allreduce(buffers)
+        np.testing.assert_allclose(ring[2], naive[2], rtol=1e-10)
+
+    def test_single_worker(self):
+        reduced, stats = ring_allreduce([np.arange(5.0)])
+        np.testing.assert_array_equal(reduced[0], np.arange(5.0))
+        assert stats.communication_steps == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 7), st.integers(1, 40))
+    def test_property_any_worker_count_and_size(self, workers, size):
+        rng = np.random.default_rng(workers * 100 + size)
+        buffers = [rng.normal(size=(size,)) for _ in range(workers)]
+        reduced, stats = ring_allreduce(buffers)
+        expected = np.mean(buffers, axis=0)
+        for out in reduced:
+            np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-12)
+        assert stats.communication_steps == 2 * (workers - 1)
+
+    def test_bandwidth_optimality_traffic(self):
+        """Per-worker traffic approaches 2(p-1)/p of the buffer — the ring's defining property."""
+        buffers = [np.ones(1000) for _ in range(8)]
+        _, ring_stats = ring_allreduce(buffers)
+        assert ring_stats.traffic_fraction == pytest.approx(2 * 7 / 8, rel=0.05)
+        _, naive_stats = naive_allreduce(buffers)
+        # The centralised scheme moves ~p times the buffer through the root.
+        assert naive_stats.elements_sent_per_worker > ring_stats.elements_sent_per_worker * 3
+
+    def test_preserves_shape(self):
+        buffers = [np.ones((3, 4, 5)) for _ in range(3)]
+        reduced, _ = ring_allreduce(buffers)
+        assert reduced[0].shape == (3, 4, 5)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.ones(3), np.ones(4)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    def test_pipe_ring_across_processes(self):
+        rng = np.random.default_rng(5)
+        buffers = [rng.normal(size=(17,)) for _ in range(3)]
+        results = PipeRingAllReducer(3).allreduce(buffers)
+        expected = np.mean(buffers, axis=0)
+        for out in results:
+            np.testing.assert_allclose(out, expected, rtol=1e-9)
+
+    def test_pipe_ring_validates_count(self):
+        with pytest.raises(ValueError):
+            PipeRingAllReducer(2).allreduce([np.ones(3)])
+
+
+class TestHorovodAPI:
+    def test_worker_group_init(self):
+        group = WorkerGroup.init(4)
+        assert group.size == 4
+        assert list(group.ranks()) == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            WorkerGroup.init(0)
+
+    def test_allreduce_gradients_averages_lists(self):
+        group = WorkerGroup.init(3)
+        shapes = [(2, 3), (4,)]
+        rng = np.random.default_rng(0)
+        per_worker = [[rng.normal(size=s) for s in shapes] for _ in range(3)]
+        averaged = group.allreduce_gradients(per_worker)
+        for i, s in enumerate(shapes):
+            expected = np.mean([per_worker[r][i] for r in range(3)], axis=0)
+            np.testing.assert_allclose(averaged[i], expected, rtol=1e-5)
+        assert group.last_stats is not None
+
+    def test_allreduce_gradients_validates(self):
+        group = WorkerGroup.init(2)
+        with pytest.raises(ValueError):
+            group.allreduce_gradients([[np.zeros(2)]])
+        with pytest.raises(ValueError):
+            group.allreduce_gradients([[np.zeros(2)], [np.zeros(2), np.zeros(3)]])
+
+    def test_distributed_optimizer_applies_average(self):
+        model = UNet(UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=0))
+        group = WorkerGroup.init(2)
+        opt = DistributedOptimizer(SGD(model.parameters(), lr=1.0), group)
+        before = [p.value.copy() for p in model.parameters()]
+        grads_a = [np.ones_like(p.value) for p in model.parameters()]
+        grads_b = [3 * np.ones_like(p.value) for p in model.parameters()]
+        opt.step([grads_a, grads_b])
+        for b, p in zip(before, model.parameters()):
+            np.testing.assert_allclose(p.value, b - 2.0, rtol=1e-5)  # mean grad = 2, lr = 1
+
+    def test_broadcast_parameters(self):
+        src = UNet(UNetConfig(depth=1, base_channels=2, seed=1))
+        dst = UNet(UNetConfig(depth=1, base_channels=2, seed=9))
+        broadcast_parameters(src, [dst])
+        for a, b in zip(src.parameters(), dst.parameters()):
+            np.testing.assert_array_equal(a.value, b.value)
+
+
+class TestDataParallelTrainer:
+    def test_sharding(self):
+        sharder = ShardedBatches(2)
+        x = np.zeros((5, 3, 8, 8), dtype=np.float32)
+        y = np.zeros((5, 8, 8), dtype=np.int64)
+        shards = sharder.shard(x, y)
+        assert len(shards) == 2
+        assert shards[0][0].shape[0] == 2  # 5 // 2
+        assert sharder.shard(x[:1], y[:1]) is None
+
+    def test_distributed_equals_serial_training(self, tiny_split):
+        """Synchronous data parallelism with ring all-reduce must match single-worker
+        training on the same global batches (the correctness claim behind Horovod)."""
+        train, _ = tiny_split
+        config = UNetConfig(depth=2, base_channels=4, dropout=0.0, seed=7)
+
+        serial_trainer = UNetTrainer(model=UNet(config), optimizer=None, learning_rate=1e-2)
+        serial_trainer.optimizer = SGD(serial_trainer.model.parameters(), lr=1e-2)
+        loader_a = BatchLoader(train.images, train.labels, batch_size=4, shuffle=False, drop_last=True)
+        serial_trainer.fit(loader_a, epochs=1)
+
+        parallel = DataParallelTrainer(num_workers=2, config=config, learning_rate=1e-2)
+        parallel.optimizer = DistributedOptimizer(SGD(parallel.master.parameters(), lr=1e-2), parallel.group)
+        loader_b = BatchLoader(train.images, train.labels, batch_size=4, shuffle=False, drop_last=True)
+        parallel.fit(loader_b, epochs=1)
+
+        for (name_a, pa), (name_b, pb) in zip(
+            serial_trainer.model.named_parameters().items(), parallel.master.named_parameters().items()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(pa.value, pb.value, atol=2e-4)
+
+    def test_replicas_stay_synchronised(self, tiny_split):
+        train, _ = tiny_split
+        trainer = DataParallelTrainer(
+            num_workers=2,
+            config=UNetConfig(depth=2, base_channels=4, dropout=0.0, seed=3),
+            keep_replicas=True,
+        )
+        loader = BatchLoader(train.images, train.labels, batch_size=4, shuffle=False, drop_last=True)
+        trainer.fit(loader, epochs=1)
+        assert trainer.replicas_synchronised()
+
+    def test_skips_too_small_batches(self):
+        trainer = DataParallelTrainer(num_workers=4, config=UNetConfig(depth=1, base_channels=2, seed=0))
+        x = np.zeros((2, 3, 16, 16), dtype=np.float32)
+        y = np.zeros((2, 16, 16), dtype=np.int64)
+        assert trainer.train_step(x, y) is None
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            DataParallelTrainer(num_workers=0)
+
+
+class TestDGXModel:
+    def test_default_calibration_matches_paper(self):
+        model = DGXTrainingModel()
+        assert model.relative_error_vs_paper() < 0.05
+        row8 = model.predict_row(8)
+        assert row8["speedup"] == pytest.approx(7.21, abs=0.3)
+
+    def test_monotone_speedup_and_throughput(self):
+        model = DGXTrainingModel()
+        rows = model.sweep()
+        speedups = [r["speedup"] for r in rows]
+        throughputs = [r["images_per_s"] for r in rows]
+        assert speedups == sorted(speedups)
+        assert throughputs == sorted(throughputs)
+
+    def test_efficiency_degrades_with_gpus(self):
+        """The paper observes GPU starvation from the input pipeline at high GPU counts."""
+        model = DGXTrainingModel()
+        eff = [model.speedup(g) / g for g in (1, 2, 4, 8)]
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[-1] < eff[1]
+
+    def test_paper_table3_shape(self):
+        rows = paper_table3()
+        assert len(rows) == 5
+        assert rows[-1]["speedup"] == 7.21
+
+    def test_allreduce_cost_grows_then_saturates(self):
+        model = DGXTrainingModel()
+        assert model.allreduce_time_per_step(1) == 0.0
+        assert model.allreduce_time_per_step(8) > model.allreduce_time_per_step(2)
+
+    def test_calibrated_from_measurement(self):
+        model = DGXTrainingModel.calibrated_from_measurement(
+            measured_epoch_time=10.0, images_per_epoch=100, model_parameters=10_000
+        )
+        assert model.epoch_time(1) == pytest.approx(10.0, rel=0.05)
+        assert model.speedup(4) > 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DGXTrainingModel(images_per_epoch=0)
+        with pytest.raises(ValueError):
+            DGXTrainingModel().epoch_time(0)
+        with pytest.raises(ValueError):
+            DGXTrainingModel.calibrated_from_measurement(0.0, 10, 10)

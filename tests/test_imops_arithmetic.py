@@ -1,0 +1,106 @@
+"""Tests for repro.imops.arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.imops import (
+    absdiff,
+    apply_mask,
+    bitwise_and,
+    bitwise_not,
+    bitwise_or,
+    min_max_normalize,
+    saturating_add,
+    saturating_subtract,
+    scale_to_uint8,
+)
+
+uint8_images = hnp.arrays(dtype=np.uint8, shape=st.tuples(st.integers(1, 10), st.integers(1, 10)))
+
+
+class TestSaturatingArithmetic:
+    def test_add_saturates_at_255(self):
+        a = np.array([[250]], dtype=np.uint8)
+        b = np.array([[20]], dtype=np.uint8)
+        assert saturating_add(a, b)[0, 0] == 255
+
+    def test_subtract_saturates_at_zero(self):
+        a = np.array([[10]], dtype=np.uint8)
+        b = np.array([[30]], dtype=np.uint8)
+        assert saturating_subtract(a, b)[0, 0] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(uint8_images, uint8_images)
+    def test_absdiff_symmetric(self, a, b):
+        if a.shape != b.shape:
+            b = np.resize(b, a.shape)
+        np.testing.assert_array_equal(absdiff(a, b), absdiff(b, a))
+
+    def test_absdiff_zero_for_identical(self, gray_image):
+        assert np.all(absdiff(gray_image, gray_image) == 0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            saturating_add(np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+
+
+class TestBitwise:
+    def test_not_involution(self, gray_image):
+        np.testing.assert_array_equal(bitwise_not(bitwise_not(gray_image)), gray_image)
+
+    def test_and_with_self_is_identity(self, gray_image):
+        np.testing.assert_array_equal(bitwise_and(gray_image, gray_image), gray_image)
+
+    def test_or_with_zero_is_identity(self, gray_image):
+        np.testing.assert_array_equal(bitwise_or(gray_image, np.zeros_like(gray_image)), gray_image)
+
+    def test_mask_zeroes_outside(self, gray_image):
+        mask = np.zeros_like(gray_image, dtype=bool)
+        mask[:5, :5] = True
+        out = bitwise_and(gray_image, gray_image, mask=mask)
+        assert np.all(out[5:, 5:] == 0)
+        np.testing.assert_array_equal(out[:5, :5], gray_image[:5, :5])
+
+    def test_apply_mask_on_rgb(self, rgb_image):
+        mask = np.zeros(rgb_image.shape[:2], dtype=bool)
+        mask[0, 0] = True
+        out = apply_mask(rgb_image, mask)
+        np.testing.assert_array_equal(out[0, 0], rgb_image[0, 0])
+        assert np.all(out[1:] == 0)
+
+    def test_apply_mask_bad_shape(self, rgb_image):
+        with pytest.raises(ValueError):
+            apply_mask(rgb_image, np.zeros((3, 3), dtype=bool))
+
+
+class TestNormalization:
+    def test_minmax_hits_bounds(self, gray_image):
+        out = min_max_normalize(gray_image, 0, 255)
+        assert np.isclose(out.min(), 0.0)
+        assert np.isclose(out.max(), 255.0)
+
+    def test_minmax_constant_image(self):
+        img = np.full((5, 5), 9.0)
+        out = min_max_normalize(img, 10, 20)
+        assert np.all(out == 10)
+
+    def test_minmax_custom_range(self, gray_image):
+        out = min_max_normalize(gray_image, -1.0, 1.0)
+        assert out.min() >= -1.0 - 1e-9 and out.max() <= 1.0 + 1e-9
+
+    def test_minmax_monotonic(self, gray_image):
+        out = min_max_normalize(gray_image)
+        flat_in = gray_image.ravel().astype(float)
+        flat_out = out.ravel()
+        order = np.argsort(flat_in)
+        assert np.all(np.diff(flat_out[order]) >= -1e-9)
+
+    def test_scale_to_uint8(self):
+        out = scale_to_uint8(np.array([-5.0, 12.4, 300.0]))
+        np.testing.assert_array_equal(out, np.array([0, 12, 255], dtype=np.uint8))
+        assert out.dtype == np.uint8

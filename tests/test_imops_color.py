@@ -1,0 +1,135 @@
+"""Tests for repro.imops.color (RGB/HSV/grayscale conversions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.imops import (
+    gray_to_rgb,
+    hsv_to_rgb,
+    merge_channels,
+    rgb_to_gray,
+    rgb_to_hsv,
+    split_channels,
+)
+
+
+class TestRgbToHsv:
+    def test_output_shape_and_dtype(self, rgb_image):
+        hsv = rgb_to_hsv(rgb_image)
+        assert hsv.shape == rgb_image.shape
+        assert hsv.dtype == np.uint8
+
+    def test_hue_range_is_opencv_convention(self, rgb_image):
+        hsv = rgb_to_hsv(rgb_image)
+        assert hsv[..., 0].max() <= 179
+
+    def test_pure_colors(self):
+        img = np.zeros((1, 3, 3), dtype=np.uint8)
+        img[0, 0] = (255, 0, 0)  # red
+        img[0, 1] = (0, 255, 0)  # green
+        img[0, 2] = (0, 0, 255)  # blue
+        hsv = rgb_to_hsv(img)
+        assert hsv[0, 0, 0] == 0  # red hue
+        assert hsv[0, 1, 0] == 60  # green hue (120 deg / 2)
+        assert hsv[0, 2, 0] == 120  # blue hue (240 deg / 2)
+        assert np.all(hsv[..., 1] == 255)
+        assert np.all(hsv[..., 2] == 255)
+
+    def test_gray_pixels_have_zero_saturation(self):
+        img = np.full((4, 4, 3), 123, dtype=np.uint8)
+        hsv = rgb_to_hsv(img)
+        assert np.all(hsv[..., 0] == 0)
+        assert np.all(hsv[..., 1] == 0)
+        assert np.all(hsv[..., 2] == 123)
+
+    def test_value_channel_is_max_of_rgb(self, rgb_image):
+        hsv = rgb_to_hsv(rgb_image)
+        np.testing.assert_array_equal(hsv[..., 2], rgb_image.max(axis=-1))
+
+    def test_black_pixel(self):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        hsv = rgb_to_hsv(img)
+        assert np.all(hsv == 0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            rgb_to_hsv(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_accepts_float_input_in_unit_range(self):
+        img = np.array([[[1.0, 0.0, 0.0]]])
+        hsv = rgb_to_hsv(img)
+        assert hsv[0, 0, 2] == 255
+
+
+class TestHsvRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(st.integers(1, 8), st.integers(1, 8), st.just(3)),
+        )
+    )
+    def test_round_trip_close(self, img):
+        # Hue is quantised to 2-degree bins so allow a small tolerance.
+        back = hsv_to_rgb(rgb_to_hsv(img))
+        assert np.max(np.abs(back.astype(int) - img.astype(int))) <= 6
+
+    def test_round_trip_on_sea_ice_palette(self):
+        from repro.data import prototype_array
+
+        img = np.clip(np.round(prototype_array()), 0, 255).astype(np.uint8).reshape(1, 3, 3)
+        back = hsv_to_rgb(rgb_to_hsv(img))
+        assert np.max(np.abs(back.astype(int) - img.astype(int))) <= 4
+
+    def test_hsv_to_rgb_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hsv_to_rgb(np.zeros((3, 3), dtype=np.uint8))
+
+
+class TestGray:
+    def test_weights_sum_to_white(self):
+        img = np.full((2, 2, 3), 255, dtype=np.uint8)
+        assert np.all(rgb_to_gray(img) == 255)
+
+    def test_green_dominates_luminance(self):
+        red = np.zeros((1, 1, 3), dtype=np.uint8)
+        red[..., 0] = 200
+        green = np.zeros((1, 1, 3), dtype=np.uint8)
+        green[..., 1] = 200
+        assert rgb_to_gray(green)[0, 0] > rgb_to_gray(red)[0, 0]
+
+    def test_gray_passthrough(self, gray_image):
+        np.testing.assert_array_equal(rgb_to_gray(gray_image), gray_image)
+
+    def test_gray_to_rgb_shape(self, gray_image):
+        rgb = gray_to_rgb(gray_image)
+        assert rgb.shape == gray_image.shape + (3,)
+        np.testing.assert_array_equal(rgb[..., 0], rgb[..., 2])
+
+    def test_gray_to_rgb_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            gray_to_rgb(np.zeros((2, 2, 2, 2)))
+
+
+class TestSplitMerge:
+    def test_split_merge_round_trip(self, rgb_image):
+        channels = split_channels(rgb_image)
+        assert len(channels) == 3
+        np.testing.assert_array_equal(merge_channels(channels), rgb_image)
+
+    def test_split_returns_contiguous(self, rgb_image):
+        for channel in split_channels(rgb_image):
+            assert channel.flags["C_CONTIGUOUS"]
+
+    def test_merge_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            merge_channels([np.zeros((2, 2)), np.zeros((3, 3))])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_channels([])

@@ -1,0 +1,106 @@
+"""Tests for repro.imops.resize (resizing, tiling, reassembly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imops import (
+    assemble_from_tiles,
+    pad_to_multiple,
+    resize_bilinear,
+    resize_nearest,
+    split_into_tiles,
+)
+
+
+class TestResize:
+    def test_nearest_shape(self, rgb_image):
+        out = resize_nearest(rgb_image, (20, 30))
+        assert out.shape == (20, 30, 3)
+        assert out.dtype == rgb_image.dtype
+
+    def test_nearest_identity(self, gray_image):
+        np.testing.assert_array_equal(resize_nearest(gray_image, gray_image.shape), gray_image)
+
+    def test_nearest_preserves_label_values(self):
+        labels = np.random.default_rng(0).integers(0, 3, size=(16, 16)).astype(np.uint8)
+        out = resize_nearest(labels, (32, 32))
+        assert set(np.unique(out)).issubset(set(np.unique(labels)))
+
+    def test_bilinear_shape_and_dtype(self, rgb_image):
+        out = resize_bilinear(rgb_image, (80, 112))
+        assert out.shape == (80, 112, 3)
+        assert out.dtype == np.uint8
+
+    def test_bilinear_constant_image(self):
+        img = np.full((10, 10), 77, dtype=np.uint8)
+        out = resize_bilinear(img, (23, 17))
+        assert np.all(out == 77)
+
+    def test_bilinear_upscale_within_range(self, gray_image):
+        out = resize_bilinear(gray_image, (96, 80))
+        assert out.min() >= gray_image.min()
+        assert out.max() <= gray_image.max()
+
+    def test_rejects_nonpositive_target(self, gray_image):
+        with pytest.raises(ValueError):
+            resize_nearest(gray_image, (0, 10))
+        with pytest.raises(ValueError):
+            resize_bilinear(gray_image, (10, 0))
+
+
+class TestPadAndTiles:
+    def test_pad_to_multiple(self):
+        img = np.ones((30, 45), dtype=np.uint8)
+        out = pad_to_multiple(img, 16)
+        assert out.shape == (32, 48)
+
+    def test_pad_noop_when_already_multiple(self, gray_image):
+        out = pad_to_multiple(gray_image, 8)
+        assert out.shape == gray_image.shape
+
+    def test_split_grid_and_count(self):
+        img = np.arange(64 * 96 * 3, dtype=np.uint8).reshape(64, 96, 3)
+        tiles, grid = split_into_tiles(img, 32)
+        assert grid == (2, 3)
+        assert tiles.shape == (6, 32, 32, 3)
+
+    def test_split_assemble_round_trip_rgb(self):
+        rng = np.random.default_rng(2)
+        img = rng.integers(0, 255, size=(64, 64, 3), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 16)
+        np.testing.assert_array_equal(assemble_from_tiles(tiles, grid), img)
+
+    def test_split_assemble_round_trip_gray(self):
+        rng = np.random.default_rng(3)
+        img = rng.integers(0, 255, size=(48, 80), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 16)
+        np.testing.assert_array_equal(assemble_from_tiles(tiles, grid), img)
+
+    def test_split_pads_non_multiple_scene(self):
+        img = np.zeros((70, 50), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 32)
+        assert grid == (3, 2)
+        assert tiles.shape[0] == 6
+
+    def test_assemble_rejects_wrong_count(self):
+        tiles = np.zeros((5, 8, 8), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            assemble_from_tiles(tiles, (2, 3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.sampled_from([8, 16]))
+    def test_round_trip_property(self, rows, cols, tile):
+        rng = np.random.default_rng(rows * 17 + cols)
+        img = rng.integers(0, 255, size=(rows * tile, cols * tile), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, tile)
+        assert grid == (rows, cols)
+        np.testing.assert_array_equal(assemble_from_tiles(tiles, grid), img)
+
+    def test_paper_tile_count(self):
+        """66 scenes of 2048x2048 split into 256-pixel tiles give 4224 tiles (paper §IV-A)."""
+        tiles_per_scene = (2048 // 256) ** 2
+        assert 66 * tiles_per_scene == 4224

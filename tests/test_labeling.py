@@ -1,0 +1,138 @@
+"""Tests for repro.labeling (auto-labeling and simulated manual annotation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classes import HSV_RANGES, NUM_CLASSES, SeaIceClass
+from repro.imops import rgb_to_hsv
+from repro.labeling import (
+    ColorSegmentationLabeler,
+    ManualLabelSimulator,
+    autolabel_batch,
+    autolabel_tile,
+    simulate_manual_labels,
+)
+from repro.metrics import accuracy_score
+
+
+class TestColorSegmentationLabeler:
+    def test_clean_scene_matches_ground_truth(self, clear_scene):
+        labeler = ColorSegmentationLabeler(apply_cloud_filter=False)
+        labels = labeler(clear_scene.clean_rgb)
+        assert accuracy_score(clear_scene.class_map, labels) > 0.98
+
+    def test_every_pixel_gets_a_class(self, cloudy_scene):
+        labels = ColorSegmentationLabeler(apply_cloud_filter=False)(cloudy_scene.rgb)
+        assert labels.min() >= 0 and labels.max() < NUM_CLASSES
+
+    def test_masks_are_disjoint(self, clear_scene):
+        labeler = ColorSegmentationLabeler()
+        hsv = rgb_to_hsv(clear_scene.clean_rgb)
+        masks = labeler.class_masks(hsv)
+        total = sum(m.astype(int) for m in masks.values())
+        assert total.max() <= 1  # the paper's HSV ranges are non-intersecting
+
+    def test_segment_returns_label_image_and_masks(self, clear_scene):
+        result = ColorSegmentationLabeler().segment(clear_scene.clean_rgb)
+        assert result.label_image.shape == clear_scene.clean_rgb.shape
+        assert set(result.masks) == set(SeaIceClass)
+        assert result.class_map.dtype == np.uint8
+
+    def test_filtered_segmentation_returns_filtered_rgb(self, cloudy_scene):
+        result = ColorSegmentationLabeler(apply_cloud_filter=True).segment(cloudy_scene.rgb)
+        assert result.filtered_rgb is not None
+        assert result.filtered_rgb.shape == cloudy_scene.rgb.shape
+
+    def test_cloud_filter_improves_accuracy(self, cloudy_scene):
+        raw = ColorSegmentationLabeler(apply_cloud_filter=False)(cloudy_scene.rgb)
+        filt = ColorSegmentationLabeler(apply_cloud_filter=True)(cloudy_scene.rgb)
+        assert accuracy_score(cloudy_scene.class_map, filt) >= accuracy_score(cloudy_scene.class_map, raw)
+
+    def test_value_thresholds_drive_labels(self):
+        """Pixels engineered to sit inside each V band get the matching class."""
+        img = np.zeros((1, 3, 3), dtype=np.uint8)
+        img[0, 0] = (230, 235, 240)  # V=240 -> thick
+        img[0, 1] = (120, 120, 120)  # V=120 -> thin
+        img[0, 2] = (5, 10, 20)  # V=20  -> water
+        labels = ColorSegmentationLabeler(apply_cloud_filter=False)(img)
+        assert labels[0, 0] == int(SeaIceClass.THICK_ICE)
+        assert labels[0, 1] == int(SeaIceClass.THIN_ICE)
+        assert labels[0, 2] == int(SeaIceClass.OPEN_WATER)
+
+    def test_rejects_incomplete_ranges(self):
+        with pytest.raises(ValueError):
+            ColorSegmentationLabeler(hsv_ranges={SeaIceClass.THICK_ICE: HSV_RANGES[SeaIceClass.THICK_ICE]})
+
+    def test_rejects_bad_input_shape(self):
+        with pytest.raises(ValueError):
+            ColorSegmentationLabeler()(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_batch_labeling_matches_per_tile(self, tiny_dataset):
+        labeler = ColorSegmentationLabeler(apply_cloud_filter=False)
+        batch = labeler.label_batch(tiny_dataset.images[:3])
+        for i in range(3):
+            np.testing.assert_array_equal(batch[i], labeler(tiny_dataset.images[i]))
+
+    def test_module_level_helpers(self, tiny_dataset):
+        single = autolabel_tile(tiny_dataset.images[0], apply_cloud_filter=False)
+        assert single.shape == (32, 32)
+        batch = autolabel_batch(tiny_dataset.images[:2], apply_cloud_filter=False)
+        assert batch.shape == (2, 32, 32)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 255))
+    def test_uniform_value_images_label_consistently(self, value):
+        """A constant-V image must be labelled entirely as the band that V falls in."""
+        img = np.full((8, 8, 3), value, dtype=np.uint8)
+        labels = ColorSegmentationLabeler(apply_cloud_filter=False)(img)
+        if value >= 205:
+            expected = int(SeaIceClass.THICK_ICE)
+        elif value >= 31:
+            expected = int(SeaIceClass.THIN_ICE)
+        else:
+            expected = int(SeaIceClass.OPEN_WATER)
+        assert np.all(labels == expected)
+
+
+class TestManualLabelSimulator:
+    def test_exact_when_noise_disabled(self, tiny_dataset):
+        sim = ManualLabelSimulator(boundary_jitter=0.0, min_region_size=0)
+        np.testing.assert_array_equal(sim.annotate(tiny_dataset.labels[0]), tiny_dataset.labels[0])
+
+    def test_high_agreement_with_truth(self, tiny_dataset):
+        annotated = simulate_manual_labels(tiny_dataset.labels, seed=0)
+        assert accuracy_score(tiny_dataset.labels, annotated) > 0.9
+
+    def test_output_classes_valid(self, tiny_dataset):
+        annotated = simulate_manual_labels(tiny_dataset.labels, seed=1)
+        assert set(np.unique(annotated)).issubset(set(range(NUM_CLASSES)))
+
+    def test_batch_and_single_apis(self, tiny_dataset):
+        sim = ManualLabelSimulator(seed=2)
+        single = sim.annotate(tiny_dataset.labels[0])
+        batch = sim.annotate_batch(tiny_dataset.labels[:2])
+        assert single.shape == (32, 32)
+        assert batch.shape == (2, 32, 32)
+
+    def test_rejects_bad_inputs(self):
+        sim = ManualLabelSimulator()
+        with pytest.raises(ValueError):
+            sim.annotate(np.zeros((4, 4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            sim.annotate(np.full((4, 4), 9, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            ManualLabelSimulator(boundary_jitter=-1.0)
+        with pytest.raises(ValueError):
+            ManualLabelSimulator(min_region_size=-2)
+
+    def test_jitter_changes_some_boundary_pixels(self):
+        cmap = np.zeros((32, 32), dtype=np.uint8)
+        cmap[:, 16:] = 1
+        sim = ManualLabelSimulator(boundary_jitter=2.0, min_region_size=0, seed=3)
+        annotated = sim.annotate(cmap)
+        diff = (annotated != cmap).mean()
+        assert 0.0 < diff < 0.3

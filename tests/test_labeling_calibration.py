@@ -1,0 +1,67 @@
+"""Tests for repro.labeling.calibration (HSV threshold calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classes import SeaIceClass
+from repro.data import build_dataset
+from repro.labeling import ColorSegmentationLabeler
+from repro.labeling.calibration import calibrate_hsv_ranges
+from repro.metrics import accuracy_score
+
+
+@pytest.fixture(scope="module")
+def calibration_dataset():
+    # Clear scenes so the labelled pixels reflect clean per-class radiometry.
+    return build_dataset(num_scenes=3, scene_size=64, tile_size=32, base_seed=31, cloudy_fraction=0.0)
+
+
+class TestCalibration:
+    def test_bands_cover_value_axis_and_do_not_overlap(self, calibration_dataset):
+        result = calibrate_hsv_ranges(calibration_dataset.clean_images, calibration_dataset.labels)
+        ranges = result.hsv_ranges
+        assert set(ranges) == set(SeaIceClass)
+        bands = sorted((r.lower[2], r.upper[2]) for r in ranges.values())
+        assert bands[0][0] == 0 and bands[-1][1] == 255
+        for (lo1, hi1), (lo2, _hi2) in zip(bands, bands[1:]):
+            assert hi1 + 1 == lo2
+
+    def test_calibrated_bands_close_to_paper_structure(self, calibration_dataset):
+        """Calibrated on data whose radiometry follows the paper's bands, the
+        recovered boundaries must separate water/thin/thick in the same order."""
+        result = calibrate_hsv_ranges(calibration_dataset.clean_images, calibration_dataset.labels)
+        ranges = result.hsv_ranges
+        assert ranges[SeaIceClass.OPEN_WATER].upper[2] < ranges[SeaIceClass.THIN_ICE].upper[2]
+        assert ranges[SeaIceClass.THIN_ICE].upper[2] < ranges[SeaIceClass.THICK_ICE].upper[2]
+        assert ranges[SeaIceClass.OPEN_WATER].upper[2] < 80
+        assert ranges[SeaIceClass.THICK_ICE].lower[2] > 150
+
+    def test_labeler_with_calibrated_ranges_is_accurate(self, calibration_dataset):
+        result = calibrate_hsv_ranges(calibration_dataset.clean_images, calibration_dataset.labels)
+        labeler = ColorSegmentationLabeler(hsv_ranges=result.as_labeler_ranges(), apply_cloud_filter=False)
+        predictions = labeler.label_batch(calibration_dataset.clean_images)
+        assert accuracy_score(calibration_dataset.labels, predictions) > 0.97
+
+    def test_single_tile_input(self, calibration_dataset):
+        result = calibrate_hsv_ranges(
+            calibration_dataset.clean_images[0], calibration_dataset.labels[0], min_samples_per_class=5
+        )
+        assert set(result.hsv_ranges) == set(SeaIceClass)
+
+    def test_requires_all_classes(self):
+        images = np.full((1, 32, 32, 3), 240, dtype=np.uint8)
+        labels = np.zeros((1, 32, 32), dtype=np.uint8)  # only thick ice present
+        with pytest.raises(ValueError):
+            calibrate_hsv_ranges(images, labels)
+
+    def test_rejects_mismatched_shapes(self, calibration_dataset):
+        with pytest.raises(ValueError):
+            calibrate_hsv_ranges(calibration_dataset.clean_images, calibration_dataset.labels[:1])
+
+    def test_reports_statistics(self, calibration_dataset):
+        result = calibrate_hsv_ranges(calibration_dataset.clean_images, calibration_dataset.labels)
+        assert set(result.samples_per_class) == set(SeaIceClass)
+        for cls, (lo, med, hi) in result.class_value_percentiles.items():
+            assert lo <= med <= hi

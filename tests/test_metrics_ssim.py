@@ -1,0 +1,82 @@
+"""Tests for repro.metrics.ssim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import mean_ssim_over_pairs, ssim
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self, gray_image):
+        assert ssim(gray_image, gray_image) == pytest.approx(1.0, abs=1e-6)
+
+    def test_identical_rgb_score_one(self, rgb_image):
+        assert ssim(rgb_image, rgb_image) == pytest.approx(1.0, abs=1e-6)
+
+    def test_noise_reduces_score(self, gray_image):
+        rng = np.random.default_rng(0)
+        noisy = np.clip(gray_image.astype(int) + rng.normal(0, 40, gray_image.shape), 0, 255).astype(np.uint8)
+        assert ssim(gray_image, noisy) < 0.9
+
+    def test_more_noise_scores_lower(self, gray_image):
+        rng = np.random.default_rng(1)
+        light = np.clip(gray_image + rng.normal(0, 10, gray_image.shape), 0, 255).astype(np.uint8)
+        heavy = np.clip(gray_image + rng.normal(0, 60, gray_image.shape), 0, 255).astype(np.uint8)
+        assert ssim(gray_image, light) > ssim(gray_image, heavy)
+
+    def test_symmetry(self, gray_image):
+        rng = np.random.default_rng(2)
+        other = rng.integers(0, 255, gray_image.shape, dtype=np.uint8)
+        assert ssim(gray_image, other) == pytest.approx(ssim(other, gray_image), abs=1e-9)
+
+    def test_bounded(self, gray_image):
+        inverted = 255 - gray_image
+        value = ssim(gray_image, inverted)
+        assert -1.0 <= value <= 1.0
+
+    def test_return_map_shape(self, gray_image):
+        value, smap = ssim(gray_image, gray_image, return_map=True)
+        assert smap.shape == gray_image.shape
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_shape_mismatch_raises(self, gray_image):
+        with pytest.raises(ValueError):
+            ssim(gray_image, gray_image[:10, :10])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros(10), np.zeros(10))
+
+    def test_constant_images_identical(self):
+        a = np.full((32, 32), 100, dtype=np.uint8)
+        assert ssim(a, a) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBatchSSIM:
+    def test_mean_over_pairs(self, gray_image):
+        batch = np.stack([gray_image, gray_image])
+        assert mean_ssim_over_pairs(batch, batch) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            mean_ssim_over_pairs(np.zeros((0, 8, 8)), np.zeros((0, 8, 8)))
+
+    def test_batch_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_ssim_over_pairs(np.zeros((2, 8, 8)), np.zeros((3, 8, 8)))
+
+    def test_label_maps_ssim_tracks_agreement(self):
+        """Auto-label SSIM (the paper's Fig 11 metric) increases with label agreement."""
+        from repro.classes import class_map_to_color
+
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 3, size=(64, 64)).astype(np.uint8)
+        slightly_wrong = truth.copy()
+        idx = rng.integers(0, 64, size=(50, 2))
+        slightly_wrong[idx[:, 0], idx[:, 1]] = (slightly_wrong[idx[:, 0], idx[:, 1]] + 1) % 3
+        very_wrong = (truth + 1) % 3
+        s_good = ssim(class_map_to_color(truth), class_map_to_color(slightly_wrong))
+        s_bad = ssim(class_map_to_color(truth), class_map_to_color(very_wrong))
+        assert s_good > s_bad

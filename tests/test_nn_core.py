@@ -1,0 +1,234 @@
+"""Tests for repro.nn core: module system, losses, optimizers, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CategoricalCrossEntropy,
+    Conv2D,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    load_weights,
+    numerical_gradient,
+    save_weights,
+    softmax,
+)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        conv = Conv2D(2, 3)
+        names = set(conv.named_parameters())
+        assert names == {"weight", "bias"}
+        assert conv.num_parameters() == 3 * 2 * 3 * 3 + 3
+
+    def test_nested_modules(self):
+        model = Sequential(Conv2D(1, 2, seed=0), ReLU(), Conv2D(2, 1, seed=1))
+        names = set(model.named_parameters())
+        assert "0.weight" in names and "2.bias" in names
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Conv2D(1, 1), ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        conv = Conv2D(1, 1)
+        conv.weight.grad += 3.0
+        conv.zero_grad()
+        assert np.all(conv.weight.grad == 0)
+
+    def test_state_dict_round_trip(self):
+        a = Sequential(Conv2D(1, 2, seed=0), Conv2D(2, 1, seed=1))
+        b = Sequential(Conv2D(1, 2, seed=7), Conv2D(2, 1, seed=9))
+        b.load_state_dict(a.state_dict())
+        for (ka, pa), (kb, pb) in zip(a.named_parameters().items(), b.named_parameters().items()):
+            assert ka == kb
+            np.testing.assert_array_equal(pa.value, pb.value)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = Sequential(Conv2D(1, 1))
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_load_state_dict_rejects_wrong_shape(self):
+        model = Sequential(Conv2D(1, 1))
+        state = model.state_dict()
+        state["0.bias"] = np.zeros((5,))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_sequential_forward_backward(self):
+        model = Sequential(Conv2D(1, 2, seed=0), ReLU(), Conv2D(2, 1, seed=1))
+        x = np.random.default_rng(0).normal(size=(2, 1, 8, 8)).astype(np.float32)
+        out = model(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_parameter_repr_and_props(self):
+        p = Parameter(np.zeros((2, 3)))
+        assert p.shape == (2, 3) and p.size == 6
+
+    def test_register_rejects_wrong_types(self):
+        m = Module()
+        with pytest.raises(TypeError):
+            m.register_parameter("x", np.zeros(3))
+        with pytest.raises(TypeError):
+            m.register_module("x", object())
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_normalises(self):
+        logits = np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        probs = softmax(logits, axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+        assert probs.min() >= 0
+
+    def test_softmax_invariant_to_shift(self):
+        logits = np.random.default_rng(1).normal(size=(1, 3, 2, 2)).astype(np.float32)
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0), atol=1e-5)
+
+    def test_loss_perfect_prediction_is_small(self):
+        logits = np.full((1, 3, 2, 2), -20.0, dtype=np.float32)
+        targets = np.zeros((1, 2, 2), dtype=np.int64)
+        logits[:, 0] = 20.0
+        loss = CategoricalCrossEntropy()(logits, targets)
+        assert loss < 1e-3
+
+    def test_loss_uniform_prediction_is_log_k(self):
+        logits = np.zeros((1, 3, 4, 4), dtype=np.float32)
+        targets = np.random.default_rng(0).integers(0, 3, size=(1, 4, 4))
+        assert CategoricalCrossEntropy()(logits, targets) == pytest.approx(np.log(3), rel=1e-4)
+
+    def test_loss_accepts_onehot_targets(self):
+        logits = np.random.default_rng(2).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        targets = np.random.default_rng(3).integers(0, 3, size=(2, 4, 4))
+        onehot = np.zeros_like(logits)
+        for n in range(2):
+            for i in range(4):
+                for j in range(4):
+                    onehot[n, targets[n, i, j], i, j] = 1.0
+        loss_int = CategoricalCrossEntropy()(logits, targets)
+        loss_onehot = CategoricalCrossEntropy()(logits, onehot)
+        assert loss_int == pytest.approx(loss_onehot, rel=1e-6)
+
+    def test_loss_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(1, 3, 3, 3)).astype(np.float64)
+        targets = rng.integers(0, 3, size=(1, 3, 3))
+        loss_fn = CategoricalCrossEntropy()
+        loss_fn(logits.astype(np.float32), targets)
+        analytic = loss_fn.backward()
+
+        def f(values):
+            return CategoricalCrossEntropy()(values.astype(np.float32), targets)
+
+        numeric = numerical_gradient(f, logits.copy(), h=1e-4)
+        # float32 forward passes limit the attainable agreement
+        assert np.max(np.abs(analytic - numeric)) < 3e-3
+
+    def test_class_weights_change_loss(self):
+        logits = np.zeros((1, 3, 2, 2), dtype=np.float32)
+        targets = np.zeros((1, 2, 2), dtype=np.int64)
+        unweighted = CategoricalCrossEntropy()(logits, targets)
+        weighted = CategoricalCrossEntropy(class_weights=np.array([2.0, 1.0, 1.0]))(logits, targets)
+        assert unweighted == pytest.approx(weighted)  # single-class targets: weights cancel
+
+    def test_loss_rejects_bad_targets(self):
+        logits = np.zeros((1, 3, 2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            CategoricalCrossEntropy()(logits, np.zeros((1, 3, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            CategoricalCrossEntropy()(logits, np.full((1, 2, 2), 5, dtype=np.int64))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CategoricalCrossEntropy().backward()
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0], dtype=np.float32))
+
+    def test_sgd_descends_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            p.zero_grad()
+            p.grad += 2 * p.value  # d/dx of x^2
+            opt.step()
+        assert np.all(np.abs(p.value) < 1e-3)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        p1, p2 = self._quadratic_param(), self._quadratic_param()
+        plain, mom = SGD([p1], lr=0.02), SGD([p2], lr=0.02, momentum=0.9)
+        for _ in range(30):
+            for p, opt in ((p1, plain), (p2, mom)):
+                p.zero_grad()
+                p.grad += 2 * p.value
+                opt.step()
+        assert np.abs(p2.value).sum() < np.abs(p1.value).sum()
+
+    def test_adam_descends_quadratic(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        assert np.all(np.abs(p.value) < 1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        for _ in range(10):
+            p.zero_grad()
+            opt.step()
+        assert p.value[0] < 1.0
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_state_dicts(self):
+        p = Parameter(np.zeros(2))
+        assert "lr" in SGD([p], lr=0.1).state_dict()
+        adam = Adam([p], lr=0.1)
+        adam.step()
+        assert adam.state_dict()["t"] == 1
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        model = Sequential(Conv2D(1, 2, seed=0), Conv2D(2, 1, seed=1))
+        path = save_weights(model, tmp_path / "model")
+        clone = Sequential(Conv2D(1, 2, seed=5), Conv2D(2, 1, seed=6))
+        load_weights(clone, path)
+        for pa, pb in zip(model.parameters(), clone.parameters()):
+            np.testing.assert_array_equal(pa.value, pb.value)
+
+    def test_save_appends_npz_suffix(self, tmp_path):
+        model = Sequential(Conv2D(1, 1))
+        path = save_weights(model, tmp_path / "weights")
+        assert path.endswith(".npz")
+
+    def test_load_missing_file_raises(self, tmp_path):
+        model = Sequential(Conv2D(1, 1))
+        with pytest.raises(FileNotFoundError):
+            load_weights(model, tmp_path / "nope.npz")

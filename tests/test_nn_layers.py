@@ -1,0 +1,181 @@
+"""Tests for repro.nn layers: gradient checks and behavioural properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    Dropout,
+    MaxPool2D,
+    ReLU,
+    UpConv2D,
+    UpSample2D,
+    check_layer_gradients,
+    im2col,
+    col2im,
+    conv_output_size,
+)
+
+
+class TestGradientChecks:
+    """Analytic backward passes must match central finite differences."""
+
+    def test_conv2d(self):
+        check_layer_gradients(Conv2D(2, 3, kernel_size=3, seed=1), (2, 2, 6, 6))
+
+    def test_conv2d_stride_and_no_bias(self):
+        check_layer_gradients(Conv2D(1, 2, kernel_size=3, stride=2, padding=1, use_bias=False, seed=2), (1, 1, 7, 7))
+
+    def test_conv2d_1x1(self):
+        check_layer_gradients(Conv2D(3, 2, kernel_size=1, padding=0, seed=3), (2, 3, 4, 4))
+
+    def test_relu(self):
+        check_layer_gradients(ReLU(), (2, 3, 5, 5))
+
+    def test_maxpool(self):
+        check_layer_gradients(MaxPool2D(2), (2, 2, 6, 6))
+
+    def test_upsample(self):
+        check_layer_gradients(UpSample2D(2), (1, 2, 4, 4))
+
+    def test_upconv(self):
+        check_layer_gradients(UpConv2D(2, 1, seed=4), (1, 2, 4, 4))
+
+    def test_batchnorm(self):
+        check_layer_gradients(BatchNorm2D(3), (4, 3, 5, 5), tolerance=5e-2)
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 2, 2, 0) == 4
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 6, 6)).astype(np.float32)
+        cols = im2col(x, 3, 3, stride=1, pad=1)
+        assert cols.shape == (2 * 6 * 6, 3 * 3 * 3)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols = im2col(x, 3, 3, stride=1, pad=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, stride=1, pad=1)).sum())
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+    def test_col2im_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            col2im(np.zeros((4, 4)), (1, 1, 5, 5), 3, 3)
+
+
+class TestConvBehaviour:
+    def test_same_padding_preserves_size(self):
+        conv = Conv2D(3, 8, kernel_size=3, padding="same")
+        out = conv(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_identity_kernel(self):
+        conv = Conv2D(1, 1, kernel_size=1, padding=0, use_bias=False)
+        conv.weight.value[...] = 1.0
+        x = np.random.default_rng(0).normal(size=(1, 1, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(conv(x), x, rtol=1e-6)
+
+    def test_bias_adds_constant(self):
+        conv = Conv2D(1, 1, kernel_size=1, padding=0)
+        conv.weight.value[...] = 0.0
+        conv.bias.value[...] = 2.5
+        out = conv(np.zeros((1, 1, 3, 3), dtype=np.float32))
+        assert np.all(out == 2.5)
+
+    def test_rejects_wrong_channel_count(self):
+        conv = Conv2D(3, 4)
+        with pytest.raises(ValueError):
+            conv(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_rejects_bad_padding_string(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, padding="valid-ish")
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Conv2D(1, 1).backward(np.zeros((1, 1, 3, 3), dtype=np.float32))
+
+
+class TestSimpleLayers:
+    def test_relu_clips_negative(self):
+        out = ReLU()(np.array([[-1.0, 2.0]], dtype=np.float32))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2)(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2)(np.zeros((1, 1, 5, 5), dtype=np.float32))
+
+    def test_upsample_repeats(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        out = UpSample2D(2)(x)
+        assert out.shape == (1, 1, 4, 4)
+        assert out[0, 0, 0, 0] == 1.0 and out[0, 0, 0, 1] == 1.0
+
+    def test_upconv_doubles_spatial_size(self):
+        out = UpConv2D(4, 2)(np.zeros((1, 4, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 2, 16, 16)
+
+    def test_dropout_identity_in_eval(self):
+        layer = Dropout(0.5, seed=0)
+        layer.training = False
+        x = np.ones((2, 3, 4, 4), dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_dropout_preserves_expectation_in_train(self):
+        layer = Dropout(0.3, seed=1)
+        x = np.ones((1, 1, 64, 64), dtype=np.float32)
+        out = layer(x)
+        assert abs(out.mean() - 1.0) < 0.1
+        assert (out == 0).any()
+
+    def test_dropout_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_concat_and_backward_split(self):
+        concat = Concat()
+        a = np.ones((1, 2, 4, 4), dtype=np.float32)
+        b = np.zeros((1, 3, 4, 4), dtype=np.float32)
+        merged = concat(a, b)
+        assert merged.shape == (1, 5, 4, 4)
+        ga, gb = concat.backward(np.ones_like(merged))
+        assert ga.shape == a.shape and gb.shape == b.shape
+
+    def test_concat_rejects_mismatched_spatial(self):
+        with pytest.raises(ValueError):
+            Concat()(np.zeros((1, 2, 4, 4)), np.zeros((1, 2, 8, 8)))
+
+    def test_batchnorm_normalises(self):
+        layer = BatchNorm2D(2)
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(8, 2, 6, 6)).astype(np.float32)
+        out = layer(x)
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1.0) < 0.1
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        layer = BatchNorm2D(1)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            layer(rng.normal(2.0, 1.0, size=(4, 1, 4, 4)).astype(np.float32))
+        layer.training = False
+        out = layer(np.full((1, 1, 4, 4), 2.0, dtype=np.float32))
+        assert abs(out.mean()) < 0.5

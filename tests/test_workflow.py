@@ -1,0 +1,105 @@
+"""Integration tests for repro.workflow (auto-label pipeline, accuracy experiment, prep timing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workflow import (
+    AccuracyExperimentConfig,
+    AutoLabelWorkflow,
+    AutoLabelWorkflowConfig,
+    run_accuracy_experiment,
+    run_preparation_pipeline,
+)
+
+
+class TestAutoLabelWorkflow:
+    def test_serial_run(self, tiny_dataset):
+        result = AutoLabelWorkflow(AutoLabelWorkflowConfig(backend="serial")).run(tiny_dataset)
+        assert result.auto_labels.shape == tiny_dataset.labels.shape
+        assert 0.0 <= result.ssim_vs_manual <= 1.0
+        assert 0.0 <= result.pixel_agreement <= 1.0
+        assert result.elapsed_s > 0
+        summary = result.summary()
+        assert summary["tiles"] == len(tiny_dataset)
+
+    def test_backends_agree_on_labels(self, tiny_dataset):
+        serial = AutoLabelWorkflow(AutoLabelWorkflowConfig(backend="serial")).run(tiny_dataset)
+        mp = AutoLabelWorkflow(AutoLabelWorkflowConfig(backend="multiprocessing", num_workers=2)).run(tiny_dataset)
+        mr = AutoLabelWorkflow(AutoLabelWorkflowConfig(backend="mapreduce", num_workers=2)).run(tiny_dataset)
+        np.testing.assert_array_equal(serial.auto_labels, mp.auto_labels)
+        np.testing.assert_array_equal(serial.auto_labels, mr.auto_labels)
+
+    def test_filter_improves_agreement(self, tiny_dataset):
+        with_filter = AutoLabelWorkflow(AutoLabelWorkflowConfig(apply_cloud_filter=True)).run(tiny_dataset)
+        without = AutoLabelWorkflow(AutoLabelWorkflowConfig(apply_cloud_filter=False)).run(tiny_dataset)
+        assert with_filter.pixel_agreement >= without.pixel_agreement - 0.02
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            AutoLabelWorkflowConfig(backend="spark")
+
+    def test_manual_label_shape_mismatch(self, tiny_dataset):
+        workflow = AutoLabelWorkflow()
+        with pytest.raises(ValueError):
+            workflow.run(tiny_dataset, manual_labels=tiny_dataset.labels[:2])
+
+
+class TestPreparationPipeline:
+    def test_timing_summary(self):
+        timing = run_preparation_pipeline(num_scenes=1, scene_size=64, tile_size=32, seed=0)
+        assert timing.num_tiles == 4
+        assert timing.total_s > 0
+        summary = timing.summary()
+        assert summary["num_scenes"] == 1
+        assert summary["seconds_per_scene"] > 0
+
+    def test_scales_with_scene_count(self):
+        one = run_preparation_pipeline(num_scenes=1, scene_size=64, tile_size=32)
+        two = run_preparation_pipeline(num_scenes=2, scene_size=64, tile_size=32)
+        assert two.num_tiles == 2 * one.num_tiles
+
+
+class TestAccuracyExperiment:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        """One small end-to-end run shared by the assertions below."""
+        config = AccuracyExperimentConfig(
+            num_scenes=3,
+            scene_size=64,
+            tile_size=32,
+            cloudy_fraction=0.7,
+            epochs=18,
+            batch_size=4,
+            learning_rate=3e-3,
+            unet_depth=2,
+            unet_base_channels=8,
+            unet_dropout=0.0,
+            seed=1,
+        )
+        return run_accuracy_experiment(config)
+
+    def test_structure(self, small_result):
+        rows4 = small_result.table4_rows()
+        assert len(rows4) == 2
+        assert {"dataset", "unet_man_accuracy_pct", "unet_auto_accuracy_pct"} <= set(rows4[0])
+        assert small_result.unet_man is not small_result.unet_auto
+        matrices = small_result.confusion_matrices()
+        assert set(matrices) == {"man_original", "man_filtered", "auto_original", "auto_filtered"}
+        assert matrices["auto_filtered"].shape == (3, 3)
+
+    def test_models_learned_something(self, small_result):
+        for variant in ("original", "filtered"):
+            for model in ("man", "auto"):
+                assert small_result.table4[variant][model].accuracy > 0.5
+
+    def test_autolabel_quality_reported(self, small_result):
+        assert 0.0 < small_result.autolabel_ssim <= 1.0
+        assert 0.5 < small_result.autolabel_agreement <= 1.0
+
+    def test_table5_rows_subset_of_splits(self, small_result):
+        rows = small_result.table5_rows()
+        assert 0 < len(rows) <= 4
+        for row in rows:
+            assert 0.0 <= row["unet_man_accuracy_pct"] <= 100.0
