@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import print_paper_vs_measured, print_rows
+from conftest import print_paper_vs_measured
 
 PAPER_TABLE4 = [
     {"dataset": "Original S2 images", "unet_man_accuracy_pct": 91.39, "unet_auto_accuracy_pct": 90.18},

@@ -41,7 +41,9 @@ from .morphology import (
     structuring_element,
 )
 from .resize import (
+    TileGrid,
     assemble_from_tiles,
+    blend_window,
     pad_to_multiple,
     resize_bilinear,
     resize_nearest,
@@ -87,7 +89,9 @@ __all__ = [
     "morph_open",
     "remove_small_objects",
     "structuring_element",
+    "TileGrid",
     "assemble_from_tiles",
+    "blend_window",
     "pad_to_multiple",
     "resize_bilinear",
     "resize_nearest",

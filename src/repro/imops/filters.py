@@ -48,7 +48,7 @@ def gaussian_blur(image: np.ndarray, ksize: int = 5, sigma: float | None = None)
     """Separable Gaussian blur with reflective border handling.
 
     Works on grayscale or multi-channel images and preserves the input dtype
-    (uint8 results are rounded and clipped back to [0, 255]).
+    (integer results are rounded and clipped back to the input dtype's range).
     """
     img = np.asarray(image)
     kernel = gaussian_kernel1d(ksize, sigma)
@@ -60,8 +60,9 @@ def gaussian_blur(image: np.ndarray, ksize: int = 5, sigma: float | None = None)
         return data
 
     out = _per_channel(img, _blur2d)
-    if img.dtype == np.uint8:
-        return np.clip(np.round(out), 0, 255).astype(np.uint8)
+    if np.issubdtype(img.dtype, np.integer):
+        info = np.iinfo(img.dtype)
+        return np.clip(np.round(out), info.min, info.max).astype(img.dtype)
     return out.astype(img.dtype, copy=False) if np.issubdtype(img.dtype, np.floating) else out
 
 

@@ -14,9 +14,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import reduce as functools_reduce
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
-from .executors import ExecutorBackend, SerialExecutor, make_executor
+from .executors import ExecutorBackend, make_executor
 from .partition import Partition, default_num_partitions, partition_items
 
 __all__ = ["JobTimings", "SparkLiteContext", "Dataset", "udf"]

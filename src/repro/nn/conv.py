@@ -81,6 +81,10 @@ class Conv2D(Module):
         out_h = conv_output_size(h, k, s, p)
         out_w = conv_output_size(w, k, s, p)
 
+        if not self.training:
+            self._cache = None
+            return self._forward_inference(x, out_h, out_w)
+
         cols = im2col(x, k, k, s, p)  # (N*out_h*out_w, C*k*k)
         w_mat = self.weight.value.reshape(self.out_channels, -1)  # (F, C*k*k)
         out = cols @ w_mat.T  # (N*out_h*out_w, F)
@@ -88,8 +92,36 @@ class Conv2D(Module):
             out += self.bias.value
         out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
 
+        # The im2col matrix is only needed to back-propagate; holding it in
+        # eval mode pins O(N*H*W*C*k*k) floats per layer, which thrashes the
+        # allocator during batched whole-scene inference.
         self._cache = (x.shape, cols)
         return np.ascontiguousarray(out)
+
+    def _forward_inference(self, x: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+        """Inference-only convolution: offset-sliced unroll feeding one GEMM.
+
+        ``im2col`` gathers the unrolled-input matrix elementwise through a
+        six-axis transposed view, which dominates forward time.  Here the same
+        matrix is assembled in a ``(k*k, C, N, out_h, out_w)`` layout with one
+        contiguous slice copy per kernel offset, so the copy runs at memcpy
+        speed and the contraction is still a single matrix multiplication.
+        Nothing is cached — backward is not available from eval mode.
+        """
+        n, c = x.shape[0], self.in_channels
+        k, s, p = self.kernel_size, self.stride, self.padding
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), mode="constant") if p > 0 else x
+        cols = np.empty((k * k, c, n, out_h, out_w), dtype=np.float32)
+        for i in range(k):
+            for j in range(k):
+                src = xp[:, :, i : i + s * out_h : s, j : j + s * out_w : s]
+                cols[i * k + j] = src.transpose(1, 0, 2, 3)
+        # Weight reordered to (F, k*k*C) to match the (offset, channel) row order.
+        w_mat = self.weight.value.transpose(0, 2, 3, 1).reshape(self.out_channels, -1)
+        out = w_mat @ cols.reshape(k * k * c, n * out_h * out_w)
+        if self.use_bias:
+            out += self.bias.value[:, None]
+        return np.ascontiguousarray(out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -26,6 +26,9 @@ class ReLU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if not self.training:
+            self._mask = None
+            return np.maximum(x, 0.0)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -53,6 +56,9 @@ class MaxPool2D(Module):
             raise ValueError(f"spatial size ({h}, {w}) not divisible by pool size {k}")
         reshaped = x.reshape(n, c, h // k, k, w // k, k)
         out = reshaped.max(axis=(3, 5))
+        if not self.training:
+            self._cache = None
+            return out
         # Mask of the argmax positions, used to route gradients back.
         mask = reshaped == out[:, :, :, None, :, None]
         # Break ties (equal maxima in one window) so gradient mass is not duplicated.
@@ -209,7 +215,7 @@ class BatchNorm2D(Module):
         std = np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
         out = self.gamma.value[None, :, None, None] * x_hat + self.beta.value[None, :, None, None]
-        self._cache = (x_hat, std)
+        self._cache = (x_hat, std) if self.training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

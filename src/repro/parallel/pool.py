@@ -90,6 +90,10 @@ def parallel_map(
     num_workers:
         Worker processes; defaults to the available CPU count.  ``1`` runs
         serially in-process, which is the baseline row of the scaling tables.
+        Workloads of 0 or 1 items also run serially regardless of
+        ``num_workers`` (no pool is ever started); the returned
+        :class:`ParallelMapResult` then reports the single in-process worker
+        and single chunk that actually ran.
     chunk_size:
         Items per task message; defaults to :func:`default_chunk_size`.
     start_method:
@@ -109,8 +113,13 @@ def parallel_map(
 
     start = time.perf_counter()
     if num_workers == 1 or n <= 1:
+        # Serial short-circuit: a pool cannot recoup its fork/pickle overhead
+        # for one worker or a 0/1-item workload.  The result reports what
+        # actually ran — one in-process worker consuming a single chunk of n
+        # items — not the requested worker count or the pre-computed chunk
+        # size, which was never used on this path.
         results = serial_map(func, items)
-        return ParallelMapResult(results, time.perf_counter() - start, 1, chunk_size)
+        return ParallelMapResult(results, time.perf_counter() - start, 1, max(n, 1))
 
     chunks = [items[i : i + chunk_size] for i in range(0, n, chunk_size)]
     if start_method is None:

@@ -1,32 +1,149 @@
-"""U-Net inference workflow (paper §III-C.2, Figure 9).
+"""U-Net scene-inference engine (paper §III-C.2, Figure 9).
 
 A trained model classifies new Sentinel-2 scenes by: splitting the big scene
-into 256×256 tiles, optionally running the thin-cloud/shadow filter on each
-tile, predicting per-pixel classes, and stitching the tile predictions back
-into a full-scene classification map.
+into 256×256 tiles (optionally with overlapping margins), optionally running
+the thin-cloud/shadow filter on each tile, predicting per-pixel class
+probabilities in batches — optionally fanned out across worker processes via
+:func:`repro.parallel.pool.parallel_map` — and stitching the per-tile
+probability maps back into a full-scene classification map.  Overlapping
+tiles are blend-averaged before the final argmax, which removes the seam
+artifacts of hard tile boundaries.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..classes import NUM_CLASSES
 from ..cloudshadow import CloudShadowFilter
 from ..data.loader import image_to_tensor
 from ..imops.resize import assemble_from_tiles, split_into_tiles
+from ..parallel.pool import parallel_map
 from .model import UNet
 
-__all__ = ["InferenceConfig", "SceneClassifier", "predict_tiles"]
+__all__ = [
+    "InferenceConfig",
+    "SceneClassifier",
+    "predict_tiles",
+    "predict_tile_probabilities",
+]
 
 
 @dataclass(frozen=True)
 class InferenceConfig:
-    """Options of the scene-inference pipeline."""
+    """Options of the scene-inference pipeline.
+
+    ``overlap`` is the number of pixels neighbouring tiles share; overlapped
+    probability maps are blend-averaged at reassembly.  ``num_workers > 1``
+    fans prediction batches out across a process pool (fork start method, so
+    the model is shared copy-on-write; on platforms without fork the engine
+    falls back to in-process batching).
+    """
 
     tile_size: int = 256
+    overlap: int = 0
     apply_cloud_filter: bool = True
     batch_size: int = 8
+    num_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+        if not 0 <= self.overlap < self.tile_size:
+            raise ValueError("overlap must satisfy 0 <= overlap < tile_size")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+
+
+def _validate_stack(tiles: np.ndarray) -> np.ndarray:
+    stack = np.asarray(tiles)
+    if stack.ndim != 4 or stack.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3) tile stack, got shape {stack.shape}")
+    return stack
+
+
+def _num_classes_of(model) -> int:
+    config = getattr(model, "config", None)
+    return int(getattr(config, "num_classes", NUM_CLASSES))
+
+
+# Worker-process state for multi-process prediction.  The globals are set in
+# the parent immediately before the pool is forked, so workers inherit the
+# model and filter copy-on-write instead of receiving them pickled per task.
+# This makes the pooled path non-reentrant: one multi-process prediction at a
+# time per process (concurrent in-process calls are unaffected — they pass
+# the model explicitly).
+_WORKER_MODEL = None
+_WORKER_FILTER: CloudShadowFilter | None = None
+
+
+def _predict_probs_batch(
+    batch: np.ndarray,
+    model: UNet | None = None,
+    cloud_filter: CloudShadowFilter | None = None,
+) -> np.ndarray:
+    """Probability maps for one tile batch (module-level, hence picklable).
+
+    Pool workers call it with only ``batch`` and fall back to the
+    fork-inherited globals; the in-process path passes model and filter
+    explicitly so both paths share one implementation.
+    """
+    if model is None:
+        model = _WORKER_MODEL
+        cloud_filter = _WORKER_FILTER
+    if model is None:
+        raise RuntimeError("inference worker state not initialised")
+    if cloud_filter is not None:
+        batch = cloud_filter.apply_batch(batch)
+    return model.predict_proba(image_to_tensor(batch)).astype(np.float32, copy=False)
+
+
+def predict_tile_probabilities(
+    model: UNet,
+    tiles: np.ndarray,
+    batch_size: int = 8,
+    cloud_filter: CloudShadowFilter | None = None,
+    num_workers: int = 1,
+) -> np.ndarray:
+    """Per-class probability maps ``(N, K, H, W)`` for an ``(N, H, W, 3)`` stack.
+
+    Tiles are predicted in batches of ``batch_size``; with ``num_workers > 1``
+    the batches are mapped over a fork-based process pool.  An empty stack
+    returns a correctly-shaped empty array instead of raising.
+    """
+    stack = _validate_stack(tiles)
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    n, h, w = stack.shape[:3]
+    if n == 0:
+        return np.zeros((0, _num_classes_of(model), h, w), dtype=np.float32)
+
+    batches = [stack[start : start + batch_size] for start in range(0, n, batch_size)]
+    use_pool = num_workers > 1 and len(batches) > 1 and "fork" in mp.get_all_start_methods()
+    if use_pool:
+        global _WORKER_MODEL, _WORKER_FILTER
+        _WORKER_MODEL, _WORKER_FILTER = model, cloud_filter
+        try:
+            result = parallel_map(
+                _predict_probs_batch,
+                batches,
+                num_workers=min(num_workers, len(batches)),
+                chunk_size=1,
+                start_method="fork",
+            )
+            outputs = result.results
+        finally:
+            _WORKER_MODEL, _WORKER_FILTER = None, None
+    else:
+        outputs = [_predict_probs_batch(batch, model, cloud_filter) for batch in batches]
+    return np.concatenate(outputs, axis=0)
 
 
 def predict_tiles(
@@ -38,16 +155,18 @@ def predict_tiles(
     """Predict class maps for a ``(N, H, W, 3)`` uint8 tile stack.
 
     When ``cloud_filter`` is given each tile is filtered before prediction,
-    which is the paper's recommended inference configuration.
+    which is the paper's recommended inference configuration.  An empty tile
+    stack returns an empty ``(0, H, W)`` map instead of raising.
     """
-    stack = np.asarray(tiles)
-    if stack.ndim != 4 or stack.shape[-1] != 3:
-        raise ValueError(f"expected (N, H, W, 3) tile stack, got shape {stack.shape}")
+    stack = _validate_stack(tiles)
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    n, h, w = stack.shape[:3]
+    if n == 0:
+        return np.zeros((0, h, w), dtype=np.uint8)
 
     outputs = []
-    for start in range(0, stack.shape[0], batch_size):
+    for start in range(0, n, batch_size):
         batch = stack[start : start + batch_size]
         if cloud_filter is not None:
             batch = cloud_filter.apply_batch(batch)
@@ -58,24 +177,40 @@ def predict_tiles(
 
 @dataclass
 class SceneClassifier:
-    """Classifies whole scenes with a trained U-Net (tile → filter → predict → stitch)."""
+    """Whole-scene inference engine (tile → filter → batched predict → blend-stitch)."""
 
     model: UNet
     config: InferenceConfig = field(default_factory=InferenceConfig)
     cloud_filter: CloudShadowFilter = field(default_factory=CloudShadowFilter)
 
-    def classify_scene(self, scene_rgb: np.ndarray) -> np.ndarray:
-        """Return the per-pixel class map of a full ``(H, W, 3)`` scene."""
+    def classify_scene_proba(self, scene_rgb: np.ndarray) -> np.ndarray:
+        """Per-pixel class probabilities ``(H, W, K)`` of a full ``(H, W, 3)`` scene.
+
+        Overlapping tile regions are blend-averaged (see
+        :func:`repro.imops.resize.blend_window`) before any argmax, so seams
+        between tiles cross-fade instead of switching abruptly.
+        """
         scene = np.asarray(scene_rgb)
         if scene.ndim != 3 or scene.shape[-1] != 3:
             raise ValueError(f"expected (H, W, 3) scene, got shape {scene.shape}")
-        tiles, grid = split_into_tiles(scene, tile_size=self.config.tile_size)
-        filt = self.cloud_filter if self.config.apply_cloud_filter else None
-        predictions = predict_tiles(self.model, tiles, batch_size=self.config.batch_size, cloud_filter=filt)
-        stitched = assemble_from_tiles(predictions, grid)
-        return stitched[: scene.shape[0], : scene.shape[1]]
+        cfg = self.config
+        tiles, grid = split_into_tiles(scene, tile_size=cfg.tile_size, overlap=cfg.overlap)
+        filt = self.cloud_filter if cfg.apply_cloud_filter else None
+        probs = predict_tile_probabilities(
+            self.model, tiles, batch_size=cfg.batch_size, cloud_filter=filt, num_workers=cfg.num_workers
+        )
+        prob_tiles = np.moveaxis(probs, 1, -1)  # (N, h, w, K)
+        return np.asarray(assemble_from_tiles(prob_tiles, grid))
+
+    def classify_scene(self, scene_rgb: np.ndarray) -> np.ndarray:
+        """Return the per-pixel class map of a full ``(H, W, 3)`` scene."""
+        return self.classify_scene_proba(scene_rgb).argmax(axis=-1).astype(np.uint8)
 
     def classify_tiles(self, tiles: np.ndarray) -> np.ndarray:
-        """Classify an already-tiled stack."""
-        filt = self.cloud_filter if self.config.apply_cloud_filter else None
-        return predict_tiles(self.model, tiles, batch_size=self.config.batch_size, cloud_filter=filt)
+        """Classify an already-tiled stack (honours ``config.num_workers``)."""
+        cfg = self.config
+        filt = self.cloud_filter if cfg.apply_cloud_filter else None
+        probs = predict_tile_probabilities(
+            self.model, tiles, batch_size=cfg.batch_size, cloud_filter=filt, num_workers=cfg.num_workers
+        )
+        return probs.argmax(axis=1).astype(np.uint8)

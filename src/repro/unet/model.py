@@ -108,7 +108,7 @@ class UNet(Module):
         out = self.bottleneck(out)
         for decoder, skip in zip(self.decoders, reversed(skips)):
             out = decoder(out, skip)
-        self._skips = skips
+        self._skips = skips if self.training else None
         return self.head(out)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

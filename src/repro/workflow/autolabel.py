@@ -31,18 +31,23 @@ class AutoLabelWorkflowConfig:
 
     ``backend`` selects how the per-tile work is parallelised:
     ``"serial"`` (reference), ``"multiprocessing"`` (paper §III-B(a)) or
-    ``"mapreduce"`` (paper §III-B(b), the sparklite engine).
+    ``"mapreduce"`` (paper §III-B(b), the sparklite engine).  ``chunk_size``
+    overrides the multiprocessing backend's items-per-task-message heuristic
+    (ignored by the other backends).
     """
 
     backend: str = "serial"
     num_workers: int = 1
     apply_cloud_filter: bool = True
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "multiprocessing", "mapreduce"):
             raise ValueError("backend must be 'serial', 'multiprocessing' or 'mapreduce'")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
 
 
 @dataclass
@@ -111,7 +116,11 @@ class AutoLabelWorkflow:
         if cfg.backend == "multiprocessing":
             labels, _ = run_parallel_autolabel(
                 tiles,
-                AutoLabelRunConfig(num_workers=cfg.num_workers, apply_cloud_filter=cfg.apply_cloud_filter),
+                AutoLabelRunConfig(
+                    num_workers=cfg.num_workers,
+                    chunk_size=cfg.chunk_size,
+                    apply_cloud_filter=cfg.apply_cloud_filter,
+                ),
             )
             return labels
         result = run_mapreduce_autolabel(

@@ -11,8 +11,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..data.scene import synthesize_scenes
 from ..imops.resize import split_into_tiles
 from ..labeling.autolabel import ColorSegmentationLabeler
@@ -31,6 +29,7 @@ class PreparationTiming:
     synthesis_s: float
     labeling_s: float
     tiling_s: float
+    tile_overlap: int = 0
 
     @property
     def total_s(self) -> float:
@@ -43,6 +42,7 @@ class PreparationTiming:
             "num_scenes": self.num_scenes,
             "scene_size": self.scene_size,
             "num_tiles": self.num_tiles,
+            "tile_overlap": self.tile_overlap,
             "labeling_s": round(self.labeling_s, 3),
             "tiling_s": round(self.tiling_s, 3),
             "total_s": round(self.total_s, 3),
@@ -55,10 +55,13 @@ def run_preparation_pipeline(
     scene_size: int = 256,
     tile_size: int = 128,
     seed: int = 0,
+    overlap: int = 0,
 ) -> PreparationTiming:
     """Run scene synthesis → cloud/shadow-filtered colour segmentation → tiling.
 
     The paper-scale call is ``num_scenes=66, scene_size=2048, tile_size=256``.
+    ``overlap`` cuts overlapping tiles (stride ``tile_size - overlap``), the
+    layout the overlap-blended inference engine consumes.
     """
     start = time.perf_counter()
     scenes = synthesize_scenes(num_scenes, height=scene_size, width=scene_size, base_seed=seed)
@@ -72,8 +75,8 @@ def run_preparation_pipeline(
     start = time.perf_counter()
     num_tiles = 0
     for scene, label_map in zip(scenes, label_maps):
-        image_tiles, _ = split_into_tiles(scene.rgb, tile_size)
-        label_tiles, _ = split_into_tiles(label_map, tile_size)
+        image_tiles, _ = split_into_tiles(scene.rgb, tile_size, overlap=overlap)
+        label_tiles, _ = split_into_tiles(label_map, tile_size, overlap=overlap)
         if image_tiles.shape[0] != label_tiles.shape[0]:
             raise RuntimeError("image and label tiling disagree")
         num_tiles += image_tiles.shape[0]
@@ -87,4 +90,5 @@ def run_preparation_pipeline(
         synthesis_s=synthesis_s,
         labeling_s=labeling_s,
         tiling_s=tiling_s,
+        tile_overlap=overlap,
     )

@@ -19,9 +19,8 @@ from ..classes import CLASS_NAMES, SeaIceClass
 from ..cloudshadow import CloudShadowFilter
 from ..data.catalog import TileDataset, build_dataset, train_test_split
 from ..data.loader import BatchLoader
-from ..labeling.autolabel import autolabel_batch
 from ..labeling.manual import simulate_manual_labels
-from ..metrics.classification import ClassificationReport, classification_report
+from ..metrics.classification import ClassificationReport
 from ..unet.model import UNet, UNetConfig
 from ..unet.trainer import UNetTrainer
 from .autolabel import AutoLabelWorkflow, AutoLabelWorkflowConfig

@@ -44,3 +44,21 @@ class TestCommands:
     def test_prep_command_runs(self, capsys):
         assert main(["prep", "--scenes", "1", "--scene-size", "64", "--tile-size", "32"]) == 0
         assert "seconds_per_scene" in capsys.readouterr().out
+
+    def test_prep_command_with_overlap(self, capsys):
+        assert main(["prep", "--scenes", "1", "--scene-size", "64", "--tile-size", "32", "--overlap", "8"]) == 0
+        out = capsys.readouterr().out
+        assert '"tile_overlap": 8' in out
+
+    def test_classify_defaults(self):
+        args = build_parser().parse_args(["classify"])
+        assert args.overlap == 0 and args.workers == 1
+
+    def test_classify_command_runs(self, capsys):
+        code = main([
+            "classify", "--scene-size", "64", "--tile-size", "32", "--overlap", "8",
+            "--workers", "2", "--epochs", "0", "--no-filter",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiles_per_s" in out and '"overlap": 8' in out

@@ -21,7 +21,7 @@ from repro.distributed import (
     ring_allreduce,
 )
 from repro.nn import SGD
-from repro.unet import UNet, UNetConfig, UNetTrainer, tiny_unet_config
+from repro.unet import UNet, UNetConfig, UNetTrainer
 
 
 class TestRingAllReduce:

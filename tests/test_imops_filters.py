@@ -49,6 +49,19 @@ class TestGaussianBlur:
         with pytest.raises(ValueError):
             gaussian_blur(gray_image, 6)
 
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.uint16])
+    def test_preserves_integer_dtypes(self, dtype):
+        """Non-uint8 integer inputs must not silently come back as float64."""
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 1000, size=(16, 16)).astype(dtype)
+        out = gaussian_blur(img, 5)
+        assert out.dtype == dtype
+        assert abs(out.astype(float).mean() - img.astype(float).mean()) < 10.0
+
+    def test_integer_constant_image_unchanged(self):
+        img = np.full((12, 12), -321, dtype=np.int16)
+        np.testing.assert_array_equal(gaussian_blur(img, 5), img)
+
 
 class TestBoxAndMedian:
     def test_box_filter_is_local_mean(self):

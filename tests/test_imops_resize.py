@@ -7,8 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pickle
+
 from repro.imops import (
+    TileGrid,
     assemble_from_tiles,
+    blend_window,
     pad_to_multiple,
     resize_bilinear,
     resize_nearest,
@@ -50,6 +54,20 @@ class TestResize:
             resize_nearest(gray_image, (0, 10))
         with pytest.raises(ValueError):
             resize_bilinear(gray_image, (10, 0))
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.uint16])
+    def test_bilinear_preserves_integer_dtypes(self, dtype):
+        """Non-uint8 integer inputs must come back in the input dtype, not float64."""
+        img = np.arange(12 * 10, dtype=dtype).reshape(12, 10) * 7
+        out = resize_bilinear(img, (20, 18))
+        assert out.dtype == dtype
+        assert out.min() >= img.min() and out.max() <= img.max()
+
+    def test_bilinear_integer_constant_image(self):
+        img = np.full((9, 9), -1234, dtype=np.int16)
+        out = resize_bilinear(img, (15, 4))
+        assert out.dtype == np.int16
+        assert np.all(out == -1234)
 
 
 class TestPadAndTiles:
@@ -104,3 +122,98 @@ class TestPadAndTiles:
         """66 scenes of 2048x2048 split into 256-pixel tiles give 4224 tiles (paper §IV-A)."""
         tiles_per_scene = (2048 // 256) ** 2
         assert 66 * tiles_per_scene == 4224
+
+    def test_pad_to_multiple_handles_single_pixel_dims(self):
+        """Reflect padding cannot pad wider than dim-1; degenerate inputs must
+        fall back to edge padding instead of raising."""
+        out = pad_to_multiple(np.full((1, 5), 9, dtype=np.uint8), 8)
+        assert out.shape == (8, 8)
+        assert np.all(out[:, :5] == 9)
+        out = pad_to_multiple(np.ones((2, 1, 3), dtype=np.uint8), 16)
+        assert out.shape == (16, 16, 3)
+        assert np.all(out == 1)
+
+
+class TestOverlapTiling:
+    def test_grid_behaves_like_tuple(self):
+        img = np.zeros((64, 96), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 32)
+        assert isinstance(grid, TileGrid)
+        assert grid == (2, 3)
+        rows, cols = grid
+        assert (rows, cols) == (2, 3)
+        assert grid.num_tiles == 6
+        assert grid.tile_size == 32 and grid.overlap == 0 and grid.stride == 32
+
+    def test_grid_pickle_round_trip(self):
+        _, grid = split_into_tiles(np.zeros((70, 50), dtype=np.uint8), 32, overlap=8)
+        copy = pickle.loads(pickle.dumps(grid))
+        assert copy == grid
+        assert copy.tile_size == grid.tile_size and copy.overlap == grid.overlap
+        assert copy.image_shape == grid.image_shape and copy.padded_shape == grid.padded_shape
+
+    def test_non_multiple_round_trip_is_cropped_exact(self):
+        """A TileGrid reassembly crops back to the original scene size, so
+        non-multiple scenes round-trip exactly."""
+        rng = np.random.default_rng(5)
+        img = rng.integers(0, 255, size=(300, 500, 3), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 128)
+        out = assemble_from_tiles(tiles, grid)
+        np.testing.assert_array_equal(out, img)
+
+    def test_legacy_tuple_grid_keeps_uncropped_stitch(self):
+        img = np.random.default_rng(6).integers(0, 255, size=(300, 500), dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 128)
+        legacy = assemble_from_tiles(tiles, (grid[0], grid[1]))
+        assert legacy.shape == grid.padded_shape
+        np.testing.assert_array_equal(legacy[:300, :500], img)
+
+    @pytest.mark.parametrize("shape", [(300, 500, 3), (96, 96), (40, 130)])
+    def test_overlap_blend_round_trip(self, shape):
+        """Tiles cut from one scene blend back to that scene (overlapping
+        regions average identical values)."""
+        rng = np.random.default_rng(7)
+        img = rng.integers(0, 255, size=shape, dtype=np.uint8)
+        tiles, grid = split_into_tiles(img, 32, overlap=8)
+        assert tiles.shape[1:3] == (32, 32)
+        out = assemble_from_tiles(tiles.astype(np.float64), grid)
+        assert out.shape == img.shape
+        np.testing.assert_allclose(out, img, atol=1e-9)
+
+    def test_overlap_grid_geometry(self):
+        _, grid = split_into_tiles(np.zeros((300, 500), dtype=np.uint8), 128, overlap=32)
+        assert grid.stride == 96
+        assert grid.image_shape == (300, 500)
+        # stride*(rows-1) + tile covers the scene
+        assert grid.padded_shape[0] >= 300 and grid.padded_shape[1] >= 500
+        assert (grid[0] - 1) * grid.stride + 128 == grid.padded_shape[0]
+
+    def test_small_scene_single_tile(self):
+        tiles, grid = split_into_tiles(np.ones((20, 20), dtype=np.uint8), 32, overlap=8)
+        assert grid == (1, 1)
+        assert tiles.shape == (1, 32, 32)
+
+    def test_rejects_bad_overlap(self):
+        img = np.zeros((64, 64), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            split_into_tiles(img, 32, overlap=32)
+        with pytest.raises(ValueError):
+            split_into_tiles(img, 32, overlap=-1)
+
+    def test_blend_window_properties(self):
+        win = blend_window(32, 8)
+        assert win.shape == (32, 32)
+        assert np.all(win > 0)
+        assert np.all(win <= 1.0)
+        # flat interior, tapered margins
+        assert np.all(win[8:24, 8:24] == 1.0)
+        assert win[0, 16] < 1.0 and win[-1, 16] < 1.0
+        with pytest.raises(ValueError):
+            blend_window(32, 32)
+
+    def test_blended_tiles_mismatch_rejected(self):
+        tiles, grid = split_into_tiles(np.zeros((64, 64), dtype=np.uint8), 32, overlap=8)
+        with pytest.raises(ValueError):
+            assemble_from_tiles(tiles[:-1], grid)
+        with pytest.raises(ValueError):
+            assemble_from_tiles(np.zeros((grid.num_tiles, 16, 16)), grid)

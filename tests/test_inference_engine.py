@@ -1,0 +1,143 @@
+"""Tests for the overlap-aware batched scene-inference engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import softmax
+from repro.unet import (
+    InferenceConfig,
+    SceneClassifier,
+    UNet,
+    predict_tile_probabilities,
+    predict_tiles,
+    tiny_unet_config,
+)
+
+
+@pytest.fixture(scope="module")
+def engine_model():
+    return UNet(tiny_unet_config(seed=9))
+
+
+class _PixelwiseModel:
+    """Stub whose per-pixel probabilities depend only on that pixel, making
+    predictions tiling-invariant — the property the blend tests rely on."""
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        r, g, b = x[:, 0], x[:, 1], x[:, 2]
+        logits = np.stack([3.0 * r - g, 2.0 * g - 0.5 * b, 1.5 * b + 0.25 * r], axis=1)
+        return softmax(logits.astype(np.float32), axis=1)
+
+
+class TestInferenceConfig:
+    def test_defaults_valid(self):
+        config = InferenceConfig()
+        assert config.overlap == 0 and config.num_workers == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tile_size": 0},
+            {"overlap": -1},
+            {"tile_size": 32, "overlap": 32},
+            {"batch_size": 0},
+            {"num_workers": 0},
+        ],
+    )
+    def test_rejects_bad_options(self, kwargs):
+        with pytest.raises(ValueError):
+            InferenceConfig(**kwargs)
+
+
+class TestPredictTiles:
+    def test_empty_stack_returns_empty_map(self, engine_model):
+        out = predict_tiles(engine_model, np.empty((0, 32, 32, 3), dtype=np.uint8))
+        assert out.shape == (0, 32, 32)
+        assert out.dtype == np.uint8
+
+    def test_empty_stack_probabilities(self, engine_model):
+        out = predict_tile_probabilities(engine_model, np.empty((0, 32, 32, 3), dtype=np.uint8))
+        assert out.shape == (0, 3, 32, 32)
+        assert out.dtype == np.float32
+
+    def test_probabilities_shape_and_norm(self, engine_model, tiny_dataset):
+        probs = predict_tile_probabilities(engine_model, tiny_dataset.images[:3], batch_size=2)
+        assert probs.shape == (3, 3, 32, 32)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_probabilities_match_labels(self, engine_model, tiny_dataset):
+        tiles = tiny_dataset.images[:4]
+        labels = predict_tiles(engine_model, tiles, batch_size=2)
+        probs = predict_tile_probabilities(engine_model, tiles, batch_size=2)
+        np.testing.assert_array_equal(probs.argmax(axis=1).astype(np.uint8), labels)
+
+    def test_multiprocess_matches_serial(self, engine_model, tiny_dataset):
+        tiles = tiny_dataset.images[:6]
+        serial = predict_tile_probabilities(engine_model, tiles, batch_size=2, num_workers=1)
+        pooled = predict_tile_probabilities(engine_model, tiles, batch_size=2, num_workers=2)
+        np.testing.assert_array_equal(serial, pooled)
+
+    def test_rejects_bad_stack(self, engine_model, tiny_dataset):
+        with pytest.raises(ValueError):
+            predict_tile_probabilities(engine_model, tiny_dataset.labels)
+        with pytest.raises(ValueError):
+            predict_tile_probabilities(engine_model, tiny_dataset.images, batch_size=0)
+        with pytest.raises(ValueError):
+            predict_tile_probabilities(engine_model, tiny_dataset.images, num_workers=0)
+
+
+class TestOverlapBlending:
+    def _scene(self):
+        rng = np.random.default_rng(11)
+        return rng.integers(0, 255, size=(100, 140, 3), dtype=np.uint8)
+
+    def test_blended_output_matches_non_overlap(self):
+        """With a tiling-invariant model, overlap blending must reproduce the
+        non-overlap classification exactly (interiors and seams)."""
+        scene = self._scene()
+        stub = _PixelwiseModel()
+
+        def classify(overlap):
+            config = InferenceConfig(tile_size=32, overlap=overlap, apply_cloud_filter=False, batch_size=4)
+            return SceneClassifier(model=stub, config=config).classify_scene_proba(scene)
+
+        probs0 = classify(0)
+        probs8 = classify(8)
+        np.testing.assert_allclose(probs8, probs0, atol=1e-6)
+        np.testing.assert_array_equal(probs8.argmax(axis=-1), probs0.argmax(axis=-1))
+
+    def test_proba_map_shape_and_norm(self, engine_model):
+        scene = self._scene()
+        config = InferenceConfig(tile_size=32, overlap=8, apply_cloud_filter=False, batch_size=4)
+        probs = SceneClassifier(model=engine_model, config=config).classify_scene_proba(scene)
+        assert probs.shape == (100, 140, 3)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_classify_scene_with_overlap_and_workers(self, engine_model):
+        scene = self._scene()
+        config = InferenceConfig(
+            tile_size=32, overlap=8, apply_cloud_filter=False, batch_size=4, num_workers=2
+        )
+        class_map = SceneClassifier(model=engine_model, config=config).classify_scene(scene)
+        assert class_map.shape == scene.shape[:2]
+        assert set(np.unique(class_map)).issubset({0, 1, 2})
+
+
+class TestEvalModeMemory:
+    def test_inference_leaves_no_backward_caches(self, engine_model):
+        """Eval-mode forward must not pin backward state (the seed kept the
+        full im2col matrix of every conv alive during inference)."""
+        engine_model.predict(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            engine_model.backward(np.zeros((1, 3, 32, 32), dtype=np.float32))
+
+    def test_eval_forward_matches_train_forward_without_dropout(self):
+        from repro.unet import UNetConfig
+
+        model = UNet(UNetConfig(depth=2, base_channels=4, dropout=0.0, seed=3))
+        x = np.random.default_rng(0).random((2, 3, 32, 32)).astype(np.float32)
+        train_logits = model.train().forward(x)
+        eval_logits = model.eval().forward(x)
+        np.testing.assert_allclose(eval_logits, train_logits, atol=1e-4)

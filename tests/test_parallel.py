@@ -66,6 +66,23 @@ class TestParallelMap:
         result = parallel_map(square, [], num_workers=2)
         assert result.results == []
 
+    def test_short_circuit_reports_what_ran(self):
+        """When the serial fallback kicks in, the result must report the one
+        in-process worker and single chunk that actually ran, not the
+        requested worker count / computed chunk size."""
+        result = parallel_map(square, [3], num_workers=4)
+        assert result.results == [9]
+        assert result.num_workers == 1
+        assert result.chunk_size == 1
+
+        result = parallel_map(square, [], num_workers=4, chunk_size=7)
+        assert result.num_workers == 1
+        assert result.chunk_size == 1
+
+        result = parallel_map(square, list(range(10)), num_workers=1, chunk_size=3)
+        assert result.num_workers == 1
+        assert result.chunk_size == 10  # one serial pass over all items
+
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             parallel_map(square, [1], num_workers=0)

@@ -40,6 +40,16 @@ class TestAutoLabelWorkflow:
         with pytest.raises(ValueError):
             AutoLabelWorkflowConfig(backend="spark")
 
+    def test_chunk_size_threads_through_multiprocessing(self, tiny_dataset):
+        config = AutoLabelWorkflowConfig(backend="multiprocessing", num_workers=2, chunk_size=2)
+        chunked = AutoLabelWorkflow(config).run(tiny_dataset)
+        serial = AutoLabelWorkflow(AutoLabelWorkflowConfig(backend="serial")).run(tiny_dataset)
+        np.testing.assert_array_equal(chunked.auto_labels, serial.auto_labels)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            AutoLabelWorkflowConfig(chunk_size=0)
+
     def test_manual_label_shape_mismatch(self, tiny_dataset):
         workflow = AutoLabelWorkflow()
         with pytest.raises(ValueError):
@@ -59,6 +69,12 @@ class TestPreparationPipeline:
         one = run_preparation_pipeline(num_scenes=1, scene_size=64, tile_size=32)
         two = run_preparation_pipeline(num_scenes=2, scene_size=64, tile_size=32)
         assert two.num_tiles == 2 * one.num_tiles
+
+    def test_overlap_produces_more_tiles(self):
+        disjoint = run_preparation_pipeline(num_scenes=1, scene_size=64, tile_size=32)
+        overlapped = run_preparation_pipeline(num_scenes=1, scene_size=64, tile_size=32, overlap=8)
+        assert overlapped.num_tiles > disjoint.num_tiles
+        assert overlapped.summary()["tile_overlap"] == 8
 
 
 class TestAccuracyExperiment:
