@@ -24,10 +24,10 @@ from repro.nn.losses import softmax
 from repro.parallel import available_cpu_count
 from repro.unet import InferenceConfig, SceneClassifier, UNet, UNetConfig
 
-from conftest import print_rows
+from conftest import BENCH_SMOKE, print_rows, write_bench_json
 
 TILE = 256
-SCENE = 1024
+SCENE = 512 if BENCH_SMOKE else 1024
 
 
 @pytest.fixture(scope="module")
@@ -46,10 +46,19 @@ def _seed_style_classify(model: UNet, scene_rgb: np.ndarray, batch_size: int = 8
     """The seed inference path, reproduced for comparison.
 
     The seed's layers cached backward state on every forward regardless of
-    train/eval mode; running the (dropout-free) model in training mode
-    reproduces that exact per-batch cost.  Tiles are predicted in the seed's
-    default batches of 8 and stitched as hard argmax labels.
+    train/eval mode; running the (dropout-free) model in training mode *on
+    the im2col/mask reference engines* reproduces that exact per-batch cost
+    (training mode alone no longer does — the offset engine made the training
+    forward fast too).  Tiles are predicted in the seed's default batches of
+    8 and stitched as hard argmax labels.
     """
+    from repro.nn import Conv2D, MaxPool2D
+
+    engines = []
+    for module in model.modules():
+        if isinstance(module, (Conv2D, MaxPool2D)):
+            engines.append((module, module.engine))
+            module.engine = "im2col" if isinstance(module, Conv2D) else "mask"
     model.train()
     try:
         tiles, grid = split_into_tiles(scene_rgb, TILE)
@@ -61,6 +70,8 @@ def _seed_style_classify(model: UNet, scene_rgb: np.ndarray, batch_size: int = 8
         return stitched[: scene_rgb.shape[0], : scene_rgb.shape[1]]
     finally:
         model.eval()
+        for module, engine in engines:
+            module.engine = engine
 
 
 def _timed(func, *args):
@@ -99,6 +110,11 @@ def test_inference_throughput_serial_vs_batched_vs_multiprocess(model, big_scene
     ]
     print_rows(f"Scene inference throughput ({n_tiles} tiles of {TILE}x{TILE}, "
                f"{available_cpu_count()} CPUs available)", rows)
+    write_bench_json("inference_throughput", {
+        "config": {"tile": TILE, "scene": SCENE, "n_tiles": n_tiles,
+                   "workers": workers, "smoke": BENCH_SMOKE},
+        "rows": rows,
+    })
 
     assert batched_map.shape == scene.shape[:2]
     assert mp_map.shape == scene.shape[:2]
@@ -107,10 +123,13 @@ def test_inference_throughput_serial_vs_batched_vs_multiprocess(model, big_scene
     assert np.mean(batched_map == seed_map) > 0.999
     np.testing.assert_array_equal(mp_map, batched_map)
 
-    best = max(n_tiles / t_batched, n_tiles / t_mp)
-    assert best >= 2.0 * (n_tiles / t_seed), (
-        f"engine reached {best:.2f} tiles/s vs seed {n_tiles / t_seed:.2f} tiles/s"
-    )
+    # Shared CI runners are too noisy to gate on a timing ratio — the smoke
+    # run only records the numbers; the full-scale run enforces the 2x gate.
+    if not BENCH_SMOKE:
+        best = max(n_tiles / t_batched, n_tiles / t_mp)
+        assert best >= 2.0 * (n_tiles / t_seed), (
+            f"engine reached {best:.2f} tiles/s vs seed {n_tiles / t_seed:.2f} tiles/s"
+        )
 
 
 class _PixelwiseModel:

@@ -10,7 +10,7 @@ and batch-loading machinery the workflow needs.
 from .io import load_dataset, save_dataset
 from .catalog import TileDataset, TileRecord, build_dataset, tiles_from_scenes, train_test_split
 from .clouds import CloudShadowField, generate_cloud_field, generate_cloud_shadow_pair
-from .loader import BatchLoader, augment_pair, image_to_tensor, labels_to_onehot
+from .loader import BatchLoader, augment_batch, augment_pair, image_to_tensor, labels_to_onehot
 from .noise import fractal_noise, smooth_blobs, spectral_noise
 from .radiometry import (
     CLASS_RGB_PROTOTYPES,
@@ -35,6 +35,7 @@ __all__ = [
     "generate_cloud_field",
     "generate_cloud_shadow_pair",
     "BatchLoader",
+    "augment_batch",
     "augment_pair",
     "image_to_tensor",
     "labels_to_onehot",

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..classes import NUM_CLASSES
 
-__all__ = ["image_to_tensor", "labels_to_onehot", "augment_pair", "BatchLoader"]
+__all__ = ["image_to_tensor", "labels_to_onehot", "augment_pair", "augment_batch", "BatchLoader"]
 
 
 def image_to_tensor(images: np.ndarray) -> np.ndarray:
@@ -43,10 +43,7 @@ def labels_to_onehot(labels: np.ndarray, num_classes: int = NUM_CLASSES) -> np.n
     if arr.min() < 0 or arr.max() >= num_classes:
         raise ValueError("labels outside [0, num_classes)")
     onehot = np.zeros((arr.shape[0], num_classes) + arr.shape[1:], dtype=np.float32)
-    n_idx = np.arange(arr.shape[0])[:, None, None]
-    h_idx = np.arange(arr.shape[1])[None, :, None]
-    w_idx = np.arange(arr.shape[2])[None, None, :]
-    onehot[n_idx, arr.astype(np.intp), h_idx, w_idx] = 1.0
+    np.put_along_axis(onehot, arr.astype(np.intp)[:, None], 1.0, axis=1)
     return onehot[0] if single else onehot
 
 
@@ -76,6 +73,42 @@ def augment_pair(
         img = np.rot90(img, k=k, axes=(1, 2))
         lab = np.rot90(lab, k=k)
     return np.ascontiguousarray(img), np.ascontiguousarray(lab)
+
+
+def augment_batch(
+    images: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply independent random dihedral augmentations to a whole batch at once.
+
+    ``images`` is ``(N, C, H, W)`` float32, ``labels`` is ``(N, H, W)`` int;
+    both are modified in place and returned.  Each sample draws its own flips
+    and rotation (the same group :func:`augment_pair` uses), but the work is
+    vectorised per transform over the sub-batch that drew it instead of
+    looping tile by tile.
+    """
+    img = np.asarray(images)
+    lab = np.asarray(labels)
+    if img.ndim != 4 or lab.ndim != 3 or img.shape[2:] != lab.shape[1:] or img.shape[0] != lab.shape[0]:
+        raise ValueError("augment_batch expects (N, C, H, W) images and matching (N, H, W) labels")
+    n = img.shape[0]
+    flip_w = rng.uniform(size=n) < 0.5
+    if flip_w.any():
+        img[flip_w] = img[flip_w, :, :, ::-1]
+        lab[flip_w] = lab[flip_w, :, ::-1]
+    flip_h = rng.uniform(size=n) < 0.5
+    if flip_h.any():
+        img[flip_h] = img[flip_h, :, ::-1, :]
+        lab[flip_h] = lab[flip_h, ::-1, :]
+    if img.shape[2] == img.shape[3]:
+        quarter_turns = rng.integers(0, 4, size=n)
+        for k in (1, 2, 3):
+            sel = quarter_turns == k
+            if sel.any():
+                img[sel] = np.rot90(img[sel], k=k, axes=(2, 3))
+                lab[sel] = np.rot90(lab[sel], k=k, axes=(1, 2))
+    return img, lab
 
 
 @dataclass
@@ -141,6 +174,5 @@ class BatchLoader:
             x = image_to_tensor(self.images[idx])
             y = self.labels[idx].astype(np.int64)
             if self.augment:
-                for i in range(x.shape[0]):
-                    x[i], y[i] = augment_pair(x[i], y[i], self._rng)
+                augment_batch(x, y, self._rng)
             yield x, y

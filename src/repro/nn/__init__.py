@@ -8,13 +8,22 @@ checkpointing and numerical gradient checking.
 
 from .conv import Conv2D
 from .gradcheck import check_layer_gradients, numerical_gradient, relative_error
-from .im2col import col2im, conv_output_size, im2col
+from .im2col import (
+    col2im,
+    conv_backward_offset,
+    conv_forward_offset,
+    conv_output_size,
+    im2col,
+    pad_input,
+    release_workspace,
+    workspace_nbytes,
+)
 from .initializers import get_initializer, glorot_uniform, he_normal, zeros
 from .layers import BatchNorm2D, Concat, Dropout, MaxPool2D, ReLU, UpConv2D, UpSample2D
 from .losses import CategoricalCrossEntropy, softmax
 from .module import Module, Parameter, Sequential
 from .optimizers import SGD, Adam, Optimizer
-from .serialization import load_weights, save_weights
+from .serialization import load_checkpoint, load_weights, save_checkpoint, save_weights
 
 __all__ = [
     "Conv2D",
@@ -22,8 +31,13 @@ __all__ = [
     "numerical_gradient",
     "relative_error",
     "col2im",
+    "conv_backward_offset",
+    "conv_forward_offset",
     "conv_output_size",
     "im2col",
+    "pad_input",
+    "release_workspace",
+    "workspace_nbytes",
     "get_initializer",
     "glorot_uniform",
     "he_normal",
@@ -43,6 +57,8 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "load_checkpoint",
     "load_weights",
+    "save_checkpoint",
     "save_weights",
 ]

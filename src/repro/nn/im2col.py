@@ -1,18 +1,34 @@
-"""im2col / col2im: the vectorised core of NumPy convolution.
+"""Convolution engines: offset-sliced GEMM (fast) and im2col / col2im (reference).
 
-Convolution is expressed as one large matrix multiplication per batch: the
-input windows are unrolled into columns (``im2col``), multiplied by the
-flattened filter bank, and the gradient path re-folds columns back into
-images (``col2im``).  The unrolling uses ``stride_tricks`` views so no
-Python-level pixel loops are involved — the idiom the HPC optimisation guide
-recommends for stencil-style workloads.
+Convolution is expressed as matrix multiplication.  The reference engine
+unrolls input windows into columns (``im2col``), multiplies by the flattened
+filter bank, and re-folds columns back into images on the gradient path
+(``col2im``).  It is kept as the ground truth for gradient-parity tests, but
+it pins an ``O(k²)``-inflated matrix per layer when used for training.
+
+The fast engine (``conv_forward_offset`` / ``conv_backward_offset``) works
+per kernel offset instead: the forward assembles the unrolled matrix into a
+shared scratch workspace with one contiguous slice copy per offset (memcpy
+speed) and releases it after a single batched GEMM; ``dW`` (plus the fused
+bias gradient) is one offset-ordered GEMM against the *padded input* — the
+only tensor a training step retains — and ``dX`` is a stride-1 transposed
+convolution, or a per-offset scatter-add into the padded gradient buffer for
+strided convolutions.  Nothing ``k²``-sized survives the step, so per-layer
+cached bytes shrink by ~``k²``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["conv_output_size", "im2col", "col2im"]
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "pad_input",
+    "conv_forward_offset",
+    "conv_backward_offset",
+]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -97,3 +113,160 @@ def col2im(
     if pad > 0:
         return padded[:, :, pad:-pad, pad:-pad]
     return padded
+
+
+# --------------------------------------------------------------------------- #
+# Offset-sliced GEMM engine
+# --------------------------------------------------------------------------- #
+#: Shared scratch for the transient unrolled-input matrices.  A fresh
+#: multi-megabyte ``np.empty`` per conv call costs more in page faults than
+#: the slice copies that fill it; one flat buffer sized to the largest layer
+#: amortises that across the whole network.  Each engine call carves a view,
+#: uses it for exactly one GEMM, and is done with it before any other call
+#: can run (the engine is single-threaded per process; forked workers get
+#: their own copy), so no two live tensors ever alias the scratch.
+_SCRATCH: dict[str, np.ndarray] = {}
+
+
+def scratch_buffer(shape: tuple[int, ...], slot: str = "cols") -> np.ndarray:
+    """A float32 view of the named workspace slot, grown to fit ``shape``.
+
+    Callers must be done with a slot's view before anything else can request
+    the same slot — the engine guarantees this by finishing each GEMM before
+    the next layer call runs.
+    """
+    size = 1
+    for dim in shape:
+        size *= dim
+    flat = _SCRATCH.get(slot)
+    if flat is None or flat.size < size:
+        flat = np.empty(size, dtype=np.float32)
+        _SCRATCH[slot] = flat
+    return flat[:size].reshape(shape)
+
+
+def release_workspace() -> None:
+    """Drop the shared scratch buffers (for tests and memory accounting)."""
+    _SCRATCH.clear()
+
+
+def workspace_nbytes() -> int:
+    """Current total size of the shared scratch buffers in bytes."""
+    return sum(flat.nbytes for flat in _SCRATCH.values())
+
+
+def pad_input(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the spatial axes of an ``(N, C, H, W)`` batch (no-op for pad 0)."""
+    if pad <= 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+
+def conv_forward_offset(
+    xp: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Convolve a pre-padded ``(N, C, Hp, Wp)`` batch with one GEMM.
+
+    The unrolled-input matrix is assembled in ``(N, k*k*C, out_h, out_w)``
+    layout with one contiguous slice copy per kernel offset (no transposes),
+    contracted against the ``(offset, channel)``-ordered filter bank by a
+    batched GEMM whose ``(N, F, out_h*out_w)`` result *is* the output layout
+    — and released; unlike :func:`im2col` output it is never cached.
+    """
+    n, c = xp.shape[0], xp.shape[1]
+    f, _, kh, kw = weight.shape
+    if kh == 1 and kw == 1 and stride == 1:
+        # Pointwise convolution: the input already is the unrolled matrix.
+        cols = xp if xp.flags.c_contiguous else np.ascontiguousarray(xp)
+    else:
+        cols = scratch_buffer((n, kh * kw * c, out_h, out_w))
+        for i in range(kh):
+            for j in range(kw):
+                base = (i * kw + j) * c
+                cols[:, base : base + c] = xp[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride]
+    w_mat = weight.transpose(0, 2, 3, 1).reshape(f, -1)
+    out = np.matmul(w_mat, cols.reshape(n, kh * kw * c, out_h * out_w))
+    if bias is not None:
+        out += bias[:, None]
+    return out.reshape(n, f, out_h, out_w)
+
+
+def conv_backward_offset(
+    xp: np.ndarray,
+    weight: np.ndarray,
+    grad_output: np.ndarray,
+    stride: int,
+    need_input_grad: bool = True,
+    need_bias_grad: bool = False,
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray | None]:
+    """Backward pass of :func:`conv_forward_offset` from the padded input alone.
+
+    Returns ``(grad_padded_input, grad_weight, grad_bias)``.  ``dW`` is one
+    offset-ordered GEMM against the re-assembled unrolled input; with
+    ``need_bias_grad=True`` a ones-channel is appended to that matrix so the
+    same GEMM also reduces ``dB`` (no separate pass over the gradient).
+    ``dX`` is a stride-1 transposed convolution (flipped filters over the
+    padded output gradient) or, for strided convolutions, a per-offset
+    scatter-add into the padded gradient buffer — the adjoint of the forward
+    slice copies.  There is no ``col2im`` re-fold and nothing ``k²``-sized
+    outlives the call.  With ``need_input_grad=False`` the ``dX`` contraction
+    is skipped entirely and ``None`` is returned in its place (first-layer
+    optimisation).
+    """
+    f, c, kh, kw = weight.shape
+    n, oh, ow = grad_output.shape[0], grad_output.shape[2], grad_output.shape[3]
+    ell = oh * ow
+    gb = grad_output.reshape(n, f, ell)
+
+    # dW (and optionally dB): re-assemble the offset-ordered unrolled input
+    # (slice copies, released on return) and contract it against the gradient
+    # with one batched GEMM reduced over the batch axis.
+    rows = kh * kw * c + (1 if need_bias_grad else 0)
+    cols = scratch_buffer((n, rows, oh, ow))
+    for i in range(kh):
+        for j in range(kw):
+            base = (i * kw + j) * c
+            cols[:, base : base + c] = xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+    if need_bias_grad:
+        cols[:, -1].fill(1.0)
+    dw_ext = np.matmul(cols.reshape(n, rows, ell), gb.transpose(0, 2, 1)).sum(axis=0)
+    db = dw_ext[-1].copy() if need_bias_grad else None
+    dw = dw_ext[: kh * kw * c].reshape(kh, kw, c, f)
+    dw = np.ascontiguousarray(dw.transpose(3, 2, 0, 1))
+
+    if not need_input_grad:
+        return None, dw, db
+
+    if stride == 1:
+        # dX is itself a stride-1 convolution: correlate the (k-1)-padded
+        # output gradient with the spatially-flipped, channel-swapped filters.
+        # One slice-copy batched GEMM, no scatter-add — the layout every
+        # U-Net conv uses.
+        w_flip = np.ascontiguousarray(weight.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1])
+        hp, wp = xp.shape[2], xp.shape[3]
+        if kh == 1 and kw == 1:
+            gp = grad_output
+        else:
+            # Padded gradient lives in its own workspace slot: it must survive
+            # the "cols" assembly inside the transposed convolution below.
+            gp = scratch_buffer((n, f, oh + 2 * (kh - 1), ow + 2 * (kw - 1)), slot="pad")
+            gp.fill(0.0)
+            gp[:, :, kh - 1 : kh - 1 + oh, kw - 1 : kw - 1 + ow] = grad_output
+        return conv_forward_offset(gp, w_flip, None, 1, hp, wp), dw, db
+
+    # General stride: scatter-add each offset's contraction back into the
+    # padded gradient buffer (the adjoint of the forward slice copies).
+    w_mat = weight.transpose(2, 3, 1, 0).reshape(kh * kw * c, f)
+    grad_cols = np.matmul(w_mat, gb)  # (N, k*k*C, out_h*out_w)
+    dxp = np.zeros_like(xp)
+    for i in range(kh):
+        for j in range(kw):
+            base = (i * kw + j) * c
+            dst = dxp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+            dst += grad_cols[:, base : base + c].reshape(n, c, oh, ow)
+    return dxp, dw, db

@@ -35,18 +35,45 @@ class ReLU(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, grad_output, 0.0).astype(np.float32)
+        grad = np.asarray(grad_output, dtype=np.float32)
+        return np.where(self._mask, grad, np.float32(0.0))
 
 
 class MaxPool2D(Module):
-    """2×2 (or k×k) max pooling with stride equal to the pool size."""
+    """2×2 (or k×k) max pooling with stride equal to the pool size.
 
-    def __init__(self, pool_size: int = 2) -> None:
+    The default ``"index"`` engine caches one flat argmax index per window
+    (uint8 for any realistic pool size) and routes gradients with
+    ``put_along_axis``; ties send all gradient to the first maximum in
+    row-major window order.  The seed ``"mask"`` engine — which pins a
+    full-resolution boolean mask plus a count tensor and splits tied
+    gradients evenly — is retained as the reference for parity tests.
+    """
+
+    def __init__(self, pool_size: int = 2, engine: str = "index") -> None:
         super().__init__()
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if engine not in ("index", "mask"):
+            raise ValueError("engine must be 'index' or 'mask'")
         self.pool_size = pool_size
+        self.engine = engine
         self._cache: tuple | None = None
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """Copy ``(N, C, H, W)`` into ``(N, C, out_h, out_w, k*k)`` windows.
+
+        The copy lands in the shared workspace (the result is consumed within
+        the same forward call), so repeated steps reuse warm pages.
+        """
+        from .im2col import scratch_buffer
+
+        n, c, h, w = x.shape
+        k = self.pool_size
+        view = x.reshape(n, c, h // k, k, w // k, k).transpose(0, 1, 2, 4, 3, 5)
+        windows = scratch_buffer((n, c, h // k, w // k, k, k), slot="pool")
+        windows[...] = view
+        return windows.reshape(n, c, h // k, w // k, k * k)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
@@ -55,23 +82,41 @@ class MaxPool2D(Module):
         if h % k or w % k:
             raise ValueError(f"spatial size ({h}, {w}) not divisible by pool size {k}")
         reshaped = x.reshape(n, c, h // k, k, w // k, k)
-        out = reshaped.max(axis=(3, 5))
         if not self.training:
             self._cache = None
+            return reshaped.max(axis=(3, 5))
+        if self.engine == "mask":
+            out = reshaped.max(axis=(3, 5))
+            # Mask of the argmax positions, used to route gradients back.
+            mask = reshaped == out[:, :, :, None, :, None]
+            # Break ties (equal maxima in one window) so gradient mass is not duplicated.
+            counts = mask.sum(axis=(3, 5), keepdims=True)
+            self._cache = ("mask", x.shape, mask, counts)
             return out
-        # Mask of the argmax positions, used to route gradients back.
-        mask = reshaped == out[:, :, :, None, :, None]
-        # Break ties (equal maxima in one window) so gradient mass is not duplicated.
-        counts = mask.sum(axis=(3, 5), keepdims=True)
-        self._cache = (x.shape, mask, counts)
+        windows = self._windows(x)
+        idx = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+        dtype = np.uint8 if k * k <= 256 else np.intp
+        self._cache = ("index", x.shape, idx.astype(dtype))
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        input_shape, mask, counts = self._cache
+        kind, input_shape = self._cache[0], self._cache[1]
         n, c, h, w = input_shape
         k = self.pool_size
+        if kind == "index":
+            from .im2col import scratch_buffer
+
+            idx = self._cache[2]
+            grad = np.asarray(grad_output, dtype=np.float32)
+            windows = scratch_buffer((n, c, h // k, w // k, k * k), slot="pool")
+            windows.fill(0.0)
+            np.put_along_axis(windows, idx[..., None].astype(np.intp), grad[..., None], axis=-1)
+            unrolled = windows.reshape(n, c, h // k, w // k, k, k).transpose(0, 1, 2, 4, 3, 5)
+            return np.ascontiguousarray(unrolled).reshape(n, c, h, w)
+        mask, counts = self._cache[2], self._cache[3]
         grad = np.asarray(grad_output, dtype=np.float32)[:, :, :, None, :, None]
         spread = mask * grad / counts
         return spread.reshape(n, c, h, w)
@@ -90,7 +135,11 @@ class UpSample2D(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
         self._input_shape = x.shape
-        return x.repeat(self.factor, axis=2).repeat(self.factor, axis=3)
+        n, c, h, w = x.shape
+        f = self.factor
+        # One broadcast copy instead of two chained ``repeat`` materialisations.
+        expanded = np.broadcast_to(x[:, :, :, None, :, None], (n, c, h, f, w, f))
+        return expanded.reshape(n, c, h * f, w * f)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
@@ -148,8 +197,15 @@ class Dropout(Module):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.uniform(size=x.shape) < keep).astype(np.float32) / keep
-        return x * self._mask
+        # float32 end to end: draw r ~ U[0, 1), then floor(r + keep) is 1 with
+        # probability `keep` — the mask materialises in one pass with no
+        # float64 uniforms and no bool intermediate.
+        mask = self._rng.random(size=x.shape, dtype=np.float32)
+        np.add(mask, np.float32(keep), out=mask)
+        np.floor(mask, out=mask)
+        mask *= np.float32(1.0 / keep)
+        self._mask = mask
+        return x * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad = np.asarray(grad_output, dtype=np.float32)

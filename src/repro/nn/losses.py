@@ -8,11 +8,17 @@ __all__ = ["softmax", "CategoricalCrossEntropy"]
 
 
 def softmax(logits: np.ndarray, axis: int = 1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
-    z = np.asarray(logits, dtype=np.float64)
+    """Numerically stable softmax along ``axis``.
+
+    Computed in float32: max-subtraction bounds the exponent, and the class
+    axis is short, so float64 buys nothing while doubling the memory traffic
+    of the training hot path.
+    """
+    z = np.asarray(logits, dtype=np.float32)
     z = z - z.max(axis=axis, keepdims=True)
-    exp = np.exp(z)
-    return (exp / exp.sum(axis=axis, keepdims=True)).astype(np.float32)
+    np.exp(z, out=z)
+    z /= z.sum(axis=axis, keepdims=True)
+    return z
 
 
 class CategoricalCrossEntropy:
@@ -22,7 +28,8 @@ class CategoricalCrossEntropy:
     integer targets ``(N, H, W)`` or one-hot targets ``(N, K, H, W)``, and
     returns the mean loss over all pixels.  ``backward()`` returns
     ``dL/dlogits`` with the same shape as the logits (the softmax gradient is
-    fused, as in every practical implementation).
+    fused, as in every practical implementation).  The bulk tensors stay in
+    float32; only the scalar loss reduction accumulates in float64.
     """
 
     def __init__(self, class_weights: np.ndarray | None = None) -> None:
@@ -51,38 +58,40 @@ class CategoricalCrossEntropy:
             raise ValueError("target class ids outside [0, num_classes)")
 
         probs = softmax(logits, axis=1)
-        n_idx = np.arange(n)[:, None, None]
-        h_idx = np.arange(h)[None, :, None]
-        w_idx = np.arange(w)[None, None, :]
-        picked = probs[n_idx, target_idx, h_idx, w_idx]
+        picked = np.take_along_axis(probs, target_idx[:, None], axis=1)[:, 0]
         picked = np.clip(picked, 1e-12, 1.0)
 
         if self.class_weights is not None:
             if self.class_weights.shape != (k,):
                 raise ValueError(f"class_weights must have shape ({k},)")
             weights = self.class_weights[target_idx]
+            weight_sum = float(weights.sum(dtype=np.float64))
+            loss = float(-(weights * np.log(picked)).sum(dtype=np.float64) / weight_sum)
         else:
-            weights = np.ones_like(picked, dtype=np.float32)
+            weights = None
+            weight_sum = float(picked.size)
+            loss = float(-np.log(picked).sum(dtype=np.float64) / weight_sum)
 
-        loss = float(-(weights * np.log(picked)).sum() / weights.sum())
-        self._cache = (probs, target_idx, weights)
+        self._cache = (probs, target_idx, weights, weight_sum)
         return loss
 
     def backward(self) -> np.ndarray:
         """Gradient of the mean loss with respect to the logits."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        probs, target_idx, weights = self._cache
-        n, k, h, w = probs.shape
+        probs, target_idx, weights, weight_sum = self._cache
 
-        onehot = np.zeros_like(probs)
-        n_idx = np.arange(n)[:, None, None]
-        h_idx = np.arange(h)[None, :, None]
-        w_idx = np.arange(w)[None, None, :]
-        onehot[n_idx, target_idx, h_idx, w_idx] = 1.0
-
-        grad = (probs - onehot) * weights[:, None, :, :]
-        return (grad / weights.sum()).astype(np.float32)
+        idx = target_idx[:, None]
+        if weights is None:
+            grad = probs * np.float32(1.0 / weight_sum)
+            picked = np.take_along_axis(grad, idx, axis=1)
+            np.put_along_axis(grad, idx, picked - np.float32(1.0 / weight_sum), axis=1)
+        else:
+            scale = weights * np.float32(1.0 / weight_sum)  # (N, H, W)
+            grad = probs * scale[:, None]
+            picked = np.take_along_axis(grad, idx, axis=1)
+            np.put_along_axis(grad, idx, picked - scale[:, None], axis=1)
+        return grad
 
     def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
         return self.forward(logits, targets)

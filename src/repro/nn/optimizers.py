@@ -3,9 +3,16 @@
 The paper trains its U-Net with Adam and categorical cross-entropy; SGD is
 kept as a baseline and for the distributed-training equivalence tests, which
 are easiest to reason about without adaptive state.
+
+``state_dict`` / ``load_state_dict`` round-trip *all* optimiser state —
+hyper-parameters and the per-parameter moment/velocity tensors — so a
+checkpoint-resumed run continues exactly where it stopped instead of
+silently restarting the adaptive state.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -33,8 +40,27 @@ class Optimizer:
         raise NotImplementedError
 
     def state_dict(self) -> dict:
-        """Serialisable optimiser state (overridden by stateful optimisers)."""
+        """Serialisable optimiser state (hyper-parameters + stateful tensors)."""
         return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (inverse operation)."""
+        self.lr = float(state["lr"])
+
+    # ------------------------------------------------------------------ #
+    def _dump_slots(self, state: dict, name: str, slots: list[np.ndarray]) -> None:
+        for i, slot in enumerate(slots):
+            state[f"{name}.{i}"] = slot.copy()
+
+    def _load_slots(self, state: dict, name: str, slots: list[np.ndarray]) -> None:
+        for i, slot in enumerate(slots):
+            key = f"{name}.{i}"
+            if key not in state:
+                raise KeyError(f"optimizer state missing {key!r}")
+            value = np.asarray(state[key])
+            if value.shape != slot.shape:
+                raise ValueError(f"shape mismatch for {key}: {value.shape} vs {slot.shape}")
+            slot[...] = value
 
 
 class SGD(Optimizer):
@@ -69,9 +95,25 @@ class SGD(Optimizer):
                 update = grad
             param.value -= self.lr * update
 
+    def state_dict(self) -> dict:
+        state = {"lr": self.lr, "momentum": self.momentum, "weight_decay": self.weight_decay}
+        self._dump_slots(state, "velocity", self._velocity)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._load_slots(state, "velocity", self._velocity)
+
 
 class Adam(Optimizer):
-    """Adam optimiser (Kingma & Ba, 2014) — the paper's training optimiser."""
+    """Adam optimiser (Kingma & Ba, 2014) — the paper's training optimiser.
+
+    ``step`` is allocation-free: the moments update in place, the bias
+    corrections are folded into the scalar step size, and the elementwise
+    work runs through one pre-allocated scratch buffer per parameter.
+    """
 
     def __init__(
         self,
@@ -94,22 +136,62 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.value) for p in self.parameters]
         self._v = [np.zeros_like(p.value) for p in self.parameters]
         self._t = 0
+        self._scratch: list[np.ndarray] | None = None
+        self._grad_scratch: list[np.ndarray] | None = None
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        # param -= lr * (m / bias1) / (sqrt(v / bias2) + eps), with both bias
+        # corrections hoisted out of the elementwise work.
+        step_size = self.lr / bias1
+        inv_sqrt_bias2 = 1.0 / math.sqrt(bias2)
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.value) for p in self.parameters]
+        if self.weight_decay and self._grad_scratch is None:
+            self._grad_scratch = [np.empty_like(p.value) for p in self.parameters]
+
+        for index, (param, m, v, buf) in enumerate(zip(self.parameters, self._m, self._v, self._scratch)):
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.value
+                gbuf = self._grad_scratch[index]
+                np.multiply(param.value, self.weight_decay, out=gbuf)
+                gbuf += grad
+                grad = gbuf
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
+            v += buf
+            np.sqrt(v, out=buf)
+            buf *= inv_sqrt_bias2
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= step_size
+            param.value -= buf
 
     def state_dict(self) -> dict:
-        return {"lr": self.lr, "t": self._t, "beta1": self.beta1, "beta2": self.beta2}
+        state = {
+            "lr": self.lr,
+            "t": self._t,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+        }
+        self._dump_slots(state, "m", self._m)
+        self._dump_slots(state, "v", self._v)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._load_slots(state, "m", self._m)
+        self._load_slots(state, "v", self._v)

@@ -1,4 +1,11 @@
-"""Model checkpoint I/O: save and load module weights as ``.npz`` archives."""
+"""Model checkpoint I/O: save and load module weights as ``.npz`` archives.
+
+Two levels are provided: ``save_weights`` / ``load_weights`` persist model
+parameters only, while ``save_checkpoint`` / ``load_checkpoint`` bundle the
+model *and* the full optimiser state (Adam moments and step count, SGD
+velocity, every hyper-parameter) so a resumed run continues exactly where it
+stopped instead of silently restarting the adaptive state.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +14,12 @@ import os
 import numpy as np
 
 from .module import Module
+from .optimizers import Optimizer
 
-__all__ = ["save_weights", "load_weights"]
+__all__ = ["save_weights", "load_weights", "save_checkpoint", "load_checkpoint"]
+
+_MODEL_PREFIX = "model/"
+_OPTIM_PREFIX = "optim/"
 
 
 def save_weights(module: Module, path: str | os.PathLike) -> str:
@@ -36,3 +47,44 @@ def load_weights(module: Module, path: str | os.PathLike) -> Module:
         state = {key: archive[key] for key in archive.files}
     module.load_state_dict(state)
     return module
+
+
+def save_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLike) -> str:
+    """Write model parameters and the complete optimiser state to one ``.npz``.
+
+    Returns the path written (with ``.npz`` appended if missing).
+    """
+    path = str(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    state: dict[str, np.ndarray] = {}
+    for key, value in module.state_dict().items():
+        state[_MODEL_PREFIX + key] = value
+    for key, value in optimizer.state_dict().items():
+        state[_OPTIM_PREFIX + key] = np.asarray(value)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLike) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint` (strict match)."""
+    path = str(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    model_state: dict[str, np.ndarray] = {}
+    optim_state: dict[str, np.ndarray] = {}
+    with np.load(path) as archive:
+        for key in archive.files:
+            if key.startswith(_MODEL_PREFIX):
+                model_state[key[len(_MODEL_PREFIX):]] = archive[key]
+            elif key.startswith(_OPTIM_PREFIX):
+                optim_state[key[len(_OPTIM_PREFIX):]] = archive[key]
+            else:
+                raise KeyError(f"unexpected checkpoint key {key!r}")
+    if not optim_state:
+        raise KeyError("checkpoint has no optimizer state (was it saved with save_weights?)")
+    module.load_state_dict(model_state)
+    optimizer.load_state_dict(optim_state)

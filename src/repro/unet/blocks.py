@@ -36,11 +36,11 @@ class DoubleConv(Module):
             x = self.dropout(x)
         return self.relu2(self.conv2(x))
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output: np.ndarray, need_input_grad: bool = True) -> np.ndarray | None:
         grad = self.conv2.backward(self.relu2.backward(grad_output))
         if self.dropout is not None:
             grad = self.dropout.backward(grad)
-        return self.conv1.backward(self.relu1.backward(grad))
+        return self.conv1.backward(self.relu1.backward(grad), need_input_grad=need_input_grad)
 
 
 class EncoderBlock(Module):
@@ -63,12 +63,13 @@ class EncoderBlock(Module):
         return self.forward(x)
 
     def backward(  # type: ignore[override]
-        self, grad_pooled: np.ndarray, grad_skip: np.ndarray | None = None
-    ) -> np.ndarray:
+        self, grad_pooled: np.ndarray, grad_skip: np.ndarray | None = None,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
         grad = self.pool.backward(grad_pooled)
         if grad_skip is not None:
             grad = grad + grad_skip
-        return self.conv.backward(grad)
+        return self.conv.backward(grad, need_input_grad=need_input_grad)
 
 
 class DecoderBlock(Module):

@@ -111,8 +111,13 @@ class UNet(Module):
         self._skips = skips if self.training else None
         return self.head(out)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Back-propagate ``dL/dlogits`` and return ``dL/dinput``."""
+    def backward(self, grad_output: np.ndarray, need_input_grad: bool = True) -> np.ndarray | None:
+        """Back-propagate ``dL/dlogits`` and return ``dL/dinput``.
+
+        Training loops pass ``need_input_grad=False``: nothing consumes the
+        input gradient there, and skipping the first layer's input
+        contraction saves a full-resolution transposed convolution per step.
+        """
         if self._skips is None:
             raise RuntimeError("backward called before forward")
         grad = self.head.backward(np.asarray(grad_output, dtype=np.float32))
@@ -125,8 +130,10 @@ class UNet(Module):
             skip_grads[len(self.encoders) - 1 - i] = grad_skip
 
         grad = self.bottleneck.backward(grad)
-        for encoder, grad_skip in zip(reversed(self.encoders), reversed(skip_grads)):
-            grad = encoder.backward(grad, grad_skip)
+        for index, (encoder, grad_skip) in enumerate(zip(reversed(self.encoders), reversed(skip_grads))):
+            is_first_layer = index == len(self.encoders) - 1
+            grad = encoder.backward(grad, grad_skip,
+                                    need_input_grad=need_input_grad or not is_first_layer)
         return grad
 
     # ------------------------------------------------------------------ #

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..data.loader import BatchLoader
 from ..metrics.classification import ClassificationReport, classification_report
-from ..nn import Adam, CategoricalCrossEntropy, Optimizer
+from ..nn import Adam, CategoricalCrossEntropy, Optimizer, load_checkpoint, save_checkpoint
 from .model import UNet, UNetConfig
 
 __all__ = ["EpochStats", "TrainingHistory", "UNetTrainer"]
@@ -99,7 +99,7 @@ class UNetTrainer:
         logits = self.model.forward(x)
         loss = self.loss_fn.forward(logits, y)
         self.optimizer.zero_grad()
-        self.model.backward(self.loss_fn.backward())
+        self.model.backward(self.loss_fn.backward(), need_input_grad=False)
         self.optimizer.step()
         return loss
 
@@ -133,6 +133,20 @@ class UNetTrainer:
                     f"time={stats.time_s:.2f}s  throughput={stats.images_per_s:.1f} img/s"
                 )
         return self.history
+
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path) -> str:
+        """Persist model weights plus the full optimiser state for exact resume."""
+        return save_checkpoint(self.model, self.optimizer, path)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore a checkpoint saved by :meth:`save_checkpoint`.
+
+        Both the model parameters and the optimiser's adaptive state (Adam
+        moments / step count, SGD velocity) come back, so training continues
+        exactly where the saved run stopped.
+        """
+        load_checkpoint(self.model, self.optimizer, path)
 
     # ------------------------------------------------------------------ #
     def evaluate(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import BatchLoader, augment_pair, image_to_tensor, labels_to_onehot
+from repro.data import BatchLoader, augment_batch, augment_pair, image_to_tensor, labels_to_onehot
 
 
 class TestImageToTensor:
@@ -74,6 +74,45 @@ class TestAugmentPair:
     def test_rejects_mismatched_shapes(self):
         with pytest.raises(ValueError):
             augment_pair(np.zeros((3, 8, 8)), np.zeros((6, 6)), np.random.default_rng(0))
+
+
+class TestAugmentBatch:
+    def test_images_and_labels_stay_aligned(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=(6, 16, 16)).astype(np.int64)
+        images = labels[:, None].astype(np.float32).repeat(3, axis=1)  # image encodes label
+        for seed in range(5):
+            img = images.copy()
+            lab = labels.copy()
+            augment_batch(img, lab, np.random.default_rng(seed))
+            np.testing.assert_array_equal(img[:, 0].astype(np.int64), lab)
+
+    def test_preserves_shapes_and_class_histogram(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, size=(5, 12, 12)).astype(np.int64)
+        images = rng.random((5, 3, 12, 12), dtype=np.float32)
+        img, lab = augment_batch(images.copy(), labels.copy(), np.random.default_rng(2))
+        assert img.shape == images.shape and lab.shape == labels.shape
+        for i in range(labels.shape[0]):
+            np.testing.assert_array_equal(np.bincount(lab[i].ravel(), minlength=3),
+                                          np.bincount(labels[i].ravel(), minlength=3))
+
+    def test_matches_augment_pair_distribution(self):
+        """Batch augmentation draws per-sample transforms: across many samples
+        the full dihedral group must show up, not one batch-wide transform."""
+        rng = np.random.default_rng(3)
+        base = rng.random((1, 4, 4), dtype=np.float32)
+        images = np.repeat(base[None], 64, axis=0)
+        labels = np.zeros((64, 4, 4), dtype=np.int64)
+        img, _ = augment_batch(images.copy(), labels, np.random.default_rng(4))
+        distinct = {img[i].tobytes() for i in range(64)}
+        # All samples started identical; independent draws must produce
+        # several distinct orientations (8 possible, 64 draws).
+        assert len(distinct) >= 4
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            augment_batch(np.zeros((2, 3, 8, 8)), np.zeros((3, 8, 8)), np.random.default_rng(0))
 
 
 class TestBatchLoader:

@@ -14,8 +14,10 @@ from repro.nn import (
     ReLU,
     SGD,
     Sequential,
+    load_checkpoint,
     load_weights,
     numerical_gradient,
+    save_checkpoint,
     save_weights,
     softmax,
 )
@@ -213,6 +215,56 @@ class TestOptimizers:
         adam.step()
         assert adam.state_dict()["t"] == 1
 
+    @staticmethod
+    def _run_steps(param: Parameter, opt, steps: int) -> None:
+        for _ in range(steps):
+            param.zero_grad()
+            param.grad += 2 * param.value
+            opt.step()
+
+    def test_sgd_state_dict_round_trip_continues_trajectory(self):
+        p1 = Parameter(np.array([4.0, -2.0], dtype=np.float32))
+        opt1 = SGD([p1], lr=0.05, momentum=0.9, weight_decay=0.01)
+        self._run_steps(p1, opt1, 5)
+        state = opt1.state_dict()
+        assert any(key.startswith("velocity.") for key in state)
+
+        p2 = Parameter(p1.value.copy())
+        opt2 = SGD([p2], lr=0.9)  # wrong hyper-params on purpose
+        opt2.load_state_dict(state)
+        assert opt2.momentum == 0.9 and opt2.lr == 0.05 and opt2.weight_decay == 0.01
+        self._run_steps(p1, opt1, 5)
+        self._run_steps(p2, opt2, 5)
+        np.testing.assert_array_equal(p1.value, p2.value)
+
+    def test_adam_state_dict_round_trip_continues_trajectory(self):
+        p1 = Parameter(np.array([4.0, -2.0], dtype=np.float32))
+        opt1 = Adam([p1], lr=0.1, weight_decay=0.02)
+        self._run_steps(p1, opt1, 5)
+        state = opt1.state_dict()
+        for key in ("t", "beta1", "beta2", "eps", "weight_decay", "m.0", "v.0"):
+            assert key in state
+
+        p2 = Parameter(p1.value.copy())
+        opt2 = Adam([p2], lr=0.5)
+        opt2.load_state_dict(state)
+        assert opt2._t == 5 and opt2.lr == 0.1 and opt2.weight_decay == 0.02
+        self._run_steps(p1, opt1, 5)
+        self._run_steps(p2, opt2, 5)
+        np.testing.assert_allclose(p1.value, p2.value, atol=1e-7)
+
+    def test_load_state_dict_rejects_bad_slots(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        state = opt.state_dict()
+        state.pop("m.0")
+        with pytest.raises(KeyError):
+            Adam([Parameter(np.zeros(2))], lr=0.1).load_state_dict(state)
+        state = opt.state_dict()
+        state["m.0"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.1).load_state_dict(state)
+
 
 class TestSerialization:
     def test_save_load_round_trip(self, tmp_path):
@@ -232,3 +284,37 @@ class TestSerialization:
         model = Sequential(Conv2D(1, 1))
         with pytest.raises(FileNotFoundError):
             load_weights(model, tmp_path / "nope.npz")
+
+    @staticmethod
+    def _train_steps(model, opt, steps, seed=0):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            x = rng.normal(size=(2, 1, 8, 8)).astype(np.float32)
+            out = model(x)
+            opt.zero_grad()
+            model.backward(np.ones_like(out))
+            opt.step()
+
+    def test_checkpoint_resume_matches_uninterrupted_run(self, tmp_path):
+        """Saving and resuming mid-run must continue the exact trajectory —
+        including the Adam moments, which plain weight checkpoints lose."""
+        model = Sequential(Conv2D(1, 2, seed=0), ReLU(), Conv2D(2, 1, seed=1))
+        opt = Adam(model.parameters(), lr=1e-2)
+        self._train_steps(model, opt, 4, seed=0)
+        path = save_checkpoint(model, opt, tmp_path / "ckpt")
+
+        resumed = Sequential(Conv2D(1, 2, seed=7), ReLU(), Conv2D(2, 1, seed=8))
+        resumed_opt = Adam(resumed.parameters(), lr=0.7)
+        load_checkpoint(resumed, resumed_opt, path)
+        assert resumed_opt._t == opt._t and resumed_opt.lr == opt.lr
+
+        self._train_steps(model, opt, 4, seed=1)
+        self._train_steps(resumed, resumed_opt, 4, seed=1)
+        for pa, pb in zip(model.parameters(), resumed.parameters()):
+            np.testing.assert_allclose(pa.value, pb.value, atol=1e-7)
+
+    def test_load_checkpoint_rejects_weights_only_archive(self, tmp_path):
+        model = Sequential(Conv2D(1, 1))
+        path = save_weights(model, tmp_path / "weights")
+        with pytest.raises(KeyError):
+            load_checkpoint(model, Adam(model.parameters(), lr=0.1), path)

@@ -49,6 +49,95 @@ class TestGradientChecks:
         check_layer_gradients(BatchNorm2D(3), (4, 3, 5, 5), tolerance=5e-2)
 
 
+class TestEngineParity:
+    """The offset-GEMM training engine must reproduce the im2col/col2im
+    reference — outputs and every gradient — across conv geometries."""
+
+    CONFIGS = [
+        # (kernel, stride, padding, input_shape)
+        (1, 1, 0, (2, 3, 6, 6)),
+        (1, 2, 0, (2, 2, 8, 8)),
+        (2, 1, 0, (1, 2, 7, 7)),
+        (2, 2, 0, (2, 2, 8, 8)),
+        (3, 1, 0, (2, 2, 7, 7)),
+        (3, 1, "same", (2, 3, 6, 6)),
+        (3, 2, 1, (1, 3, 9, 9)),
+        (3, 2, "same", (2, 2, 8, 8)),
+    ]
+
+    @pytest.mark.parametrize("kernel,stride,padding,shape", CONFIGS)
+    def test_offset_matches_im2col_reference(self, kernel, stride, padding, shape):
+        rng = np.random.default_rng(kernel * 100 + stride * 10 + shape[1])
+        fast = Conv2D(shape[1], 4, kernel_size=kernel, stride=stride, padding=padding,
+                      seed=11, engine="offset")
+        ref = Conv2D(shape[1], 4, kernel_size=kernel, stride=stride, padding=padding,
+                     seed=11, engine="im2col")
+        x = rng.normal(size=shape).astype(np.float32)
+        out_fast, out_ref = fast(x), ref(x)
+        np.testing.assert_allclose(out_fast, out_ref, atol=1e-5)
+
+        upstream = rng.normal(size=out_fast.shape).astype(np.float32)
+        grad_fast, grad_ref = fast.backward(upstream), ref.backward(upstream)
+        # Tensor-scale relative error: float32 GEMM-order noise on individual
+        # near-zero entries must not mask a genuine mismatch elsewhere.
+        for a, b in ((grad_fast, grad_ref),
+                     (fast.weight.grad, ref.weight.grad),
+                     (fast.bias.grad, ref.bias.grad)):
+            scale = max(float(np.abs(b).max()), 1e-8)
+            assert float(np.abs(a - b).max()) / scale <= 1e-4
+
+    @pytest.mark.parametrize("kernel,stride,padding,shape", CONFIGS)
+    def test_offset_gradcheck(self, kernel, stride, padding, shape):
+        layer = Conv2D(shape[1], 3, kernel_size=kernel, stride=stride, padding=padding, seed=2)
+        # h=1e-2 keeps the float32 central differences out of cancellation
+        # noise across every geometry (the engines themselves agree to 1e-6).
+        check_layer_gradients(layer, shape, seed=1, h=1e-2)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, engine="winograd")
+        with pytest.raises(ValueError):
+            MaxPool2D(2, engine="bitmask")
+
+    def test_skip_input_grad_still_accumulates_parameter_grads(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+        full = Conv2D(2, 3, seed=5)
+        skip = Conv2D(2, 3, seed=5)
+        upstream = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        full(x)
+        skip(x)
+        assert full.backward(upstream, need_input_grad=True) is not None
+        assert skip.backward(upstream, need_input_grad=False) is None
+        np.testing.assert_allclose(skip.weight.grad, full.weight.grad, atol=1e-6)
+        np.testing.assert_allclose(skip.bias.grad, full.bias.grad, atol=1e-6)
+
+    def test_maxpool_engines_agree_without_ties(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        fast, ref = MaxPool2D(2), MaxPool2D(2, engine="mask")
+        np.testing.assert_array_equal(fast(x), ref(x))
+        upstream = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(fast.backward(upstream), ref.backward(upstream), atol=1e-6)
+
+    def test_maxpool_tie_breaking_routes_to_first_maximum(self):
+        """Ties send the whole gradient to the first maximum in row-major
+        window order (the index engine's contract); the seed mask engine
+        split it evenly instead."""
+        x = np.array([[[[1.0, 1.0], [0.0, 1.0]]]], dtype=np.float32)
+        upstream = np.array([[[[3.0]]]], dtype=np.float32)
+
+        pool = MaxPool2D(2)
+        assert pool(x)[0, 0, 0, 0] == 1.0
+        grad = pool.backward(upstream)
+        np.testing.assert_array_equal(grad[0, 0], [[3.0, 0.0], [0.0, 0.0]])
+
+        legacy = MaxPool2D(2, engine="mask")
+        legacy(x)
+        np.testing.assert_allclose(legacy.backward(upstream)[0, 0],
+                                   [[1.0, 1.0], [0.0, 1.0]])
+
+
 class TestIm2Col:
     def test_output_size(self):
         assert conv_output_size(8, 3, 1, 1) == 8
@@ -149,6 +238,23 @@ class TestSimpleLayers:
     def test_dropout_rejects_bad_rate(self):
         with pytest.raises(ValueError):
             Dropout(1.0)
+
+    def test_dropout_mask_is_float32_single_scale(self):
+        layer = Dropout(0.4, seed=2)
+        x = np.ones((2, 3, 16, 16), dtype=np.float32)
+        out = layer(x)
+        assert out.dtype == np.float32
+        assert layer._mask.dtype == np.float32
+        # Inverted dropout: surviving values are exactly x / keep.
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.6, rtol=1e-6)
+
+    def test_dropout_backward_routes_through_mask(self):
+        layer = Dropout(0.5, seed=3)
+        x = np.ones((1, 1, 32, 32), dtype=np.float32)
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad == 0, out == 0)
 
     def test_concat_and_backward_split(self):
         concat = Concat()
