@@ -11,6 +11,9 @@ Sub-commands (``repro-seaice <command> --help`` for options):
 * ``classify``   — run the tiled scene-inference engine on a synthetic scene
   (overlap-blended stitching, batched and optionally multi-process) and
   report throughput plus accuracy against the synthetic ground truth.
+* ``serve``      — start the long-lived model-serving subsystem: a model
+  registry of ``.npz`` checkpoints behind JSON endpoints (``/healthz``,
+  ``/models``, ``/predict``) with micro-batched inference.
 """
 
 from __future__ import annotations
@@ -153,6 +156,82 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .serving import InferenceService, ModelRegistry, ServiceConfig, run_service
+    from .unet import InferenceConfig
+
+    inference = None
+    if args.inference_config:
+        with open(args.inference_config) as fh:
+            inference = InferenceConfig.from_dict(json.load(fh))
+
+    if args.demo:
+        registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
+        _publish_demo_model(registry_dir, args)
+        registry = ModelRegistry(registry_dir, inference=inference)
+    elif args.registry:
+        registry = ModelRegistry(args.registry, inference=inference)
+    else:
+        print("error: pass --registry DIR (or --demo to train and serve a toy model)", file=sys.stderr)
+        return 2
+
+    models = registry.models()
+    if not models:
+        print(f"error: no models found in registry {registry.root!r} "
+              "(expected <name>/<version>.npz)", file=sys.stderr)
+        return 2
+
+    service = InferenceService(
+        registry,
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_window_s=args.batch_window_ms / 1e3,
+        ),
+    )
+    def announce(server) -> None:
+        # The ready line is machine-readable on purpose: --port 0 binds an
+        # ephemeral port and scripts need to learn which one.
+        print(json.dumps({
+            "serving": True,
+            "host": server.server_address[0],
+            "port": server.server_address[1],
+            "models": {name: versions for name, versions in models.items()},
+            "endpoints": ["/healthz", "/models", "/stats", "/predict"],
+        }), flush=True)
+
+    run_service(service, quiet=args.quiet, on_ready=announce)
+    return 0
+
+
+def _publish_demo_model(registry_dir: str, args: argparse.Namespace) -> None:
+    """Train (or just initialise) a tiny model and publish it as a registry checkpoint."""
+    from .data import BatchLoader, SceneSpec, synthesize_scene
+    from .imops.resize import split_into_tiles
+    from .labeling.autolabel import autolabel_batch
+    from .serving import ModelRegistry
+    from .unet import InferenceConfig, UNetConfig, UNetTrainer
+
+    trainer = UNetTrainer(config=UNetConfig(depth=2, base_channels=8, dropout=0.0, seed=args.seed))
+    if args.demo_epochs > 0:
+        scene = synthesize_scene(SceneSpec(height=128, width=128, cloud_coverage=0.2, seed=args.seed))
+        tiles, _ = split_into_tiles(scene.rgb, 32)
+        labels = autolabel_batch(tiles, apply_cloud_filter=False)
+        trainer.fit(BatchLoader(tiles, labels, batch_size=8, seed=args.seed), epochs=args.demo_epochs)
+    registry = ModelRegistry(registry_dir)
+    registry.publish(
+        "seaice-demo",
+        1,
+        trainer.model,
+        optimizer=trainer.optimizer,
+        inference=InferenceConfig(tile_size=32, apply_cloud_filter=False),
+        extra_metadata={"demo": True, "epochs": args.demo_epochs},
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-seaice", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -206,6 +285,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-filter", action="store_true", help="skip the thin-cloud/shadow filter")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("serve", help="serve registry models over JSON HTTP endpoints")
+    p.add_argument("--registry", default=None, help="registry directory (<name>/<version>.npz)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 binds an ephemeral port")
+    p.add_argument("--max-batch", type=int, default=16, help="micro-batch flush size")
+    p.add_argument("--batch-window-ms", type=float, default=5.0,
+                   help="micro-batch flush deadline in milliseconds")
+    p.add_argument("--inference-config", default=None,
+                   help="JSON file of InferenceConfig settings overriding archive metadata")
+    p.add_argument("--demo", action="store_true",
+                   help="publish a freshly trained tiny model into the registry and serve it")
+    p.add_argument("--demo-epochs", type=int, default=1,
+                   help="training epochs for the --demo model (0 serves it untrained)")
+    p.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

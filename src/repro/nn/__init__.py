@@ -23,7 +23,15 @@ from .layers import BatchNorm2D, Concat, Dropout, MaxPool2D, ReLU, UpConv2D, UpS
 from .losses import CategoricalCrossEntropy, softmax
 from .module import Module, Parameter, Sequential
 from .optimizers import SGD, Adam, Optimizer
-from .serialization import load_checkpoint, load_weights, save_checkpoint, save_weights
+from .serialization import (
+    CheckpointError,
+    load_checkpoint,
+    load_model_state,
+    load_weights,
+    read_metadata,
+    save_checkpoint,
+    save_weights,
+)
 
 __all__ = [
     "Conv2D",
@@ -57,8 +65,11 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "CheckpointError",
     "load_checkpoint",
+    "load_model_state",
     "load_weights",
+    "read_metadata",
     "save_checkpoint",
     "save_weights",
 ]

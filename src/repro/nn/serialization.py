@@ -5,32 +5,84 @@ parameters only, while ``save_checkpoint`` / ``load_checkpoint`` bundle the
 model *and* the full optimiser state (Adam moments and step count, SGD
 velocity, every hyper-parameter) so a resumed run continues exactly where it
 stopped instead of silently restarting the adaptive state.
+
+Both archive kinds can carry a JSON metadata block (``metadata=`` at save
+time, :func:`read_metadata` at load time).  The serving model registry uses
+it to rebuild the right ``UNetConfig`` and inference settings from the
+archive alone, without a side-channel config file.  :func:`load_model_state`
+reads the model parameters out of either archive kind, which is what lets
+the registry serve directly from a training checkpoint.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import zipfile
 
 import numpy as np
 
 from .module import Module
 from .optimizers import Optimizer
 
-__all__ = ["save_weights", "load_weights", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "save_weights",
+    "load_weights",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_metadata",
+    "load_model_state",
+]
 
 _MODEL_PREFIX = "model/"
 _OPTIM_PREFIX = "optim/"
+_META_KEY = "__meta__/json"
 
 
-def save_weights(module: Module, path: str | os.PathLike) -> str:
+class CheckpointError(RuntimeError):
+    """A checkpoint archive is unreadable or structurally wrong."""
+
+
+def _normalize_path(path: str | os.PathLike) -> str:
+    path = str(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    return path
+
+
+def _open_archive(path: str):
+    """Open an ``.npz`` archive with informative failure modes."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"checkpoint not found: {path!r}")
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise CheckpointError(f"corrupt or unreadable checkpoint archive {path!r}: {exc}") from exc
+
+
+def _metadata_entry(metadata: dict | None) -> dict[str, np.ndarray]:
+    if metadata is None:
+        return {}
+    try:
+        payload = json.dumps(metadata, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"checkpoint metadata must be JSON-serialisable: {exc}") from exc
+    return {_META_KEY: np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)}
+
+
+def save_weights(module: Module, path: str | os.PathLike, metadata: dict | None = None) -> str:
     """Write every parameter of ``module`` to a compressed ``.npz`` file.
 
-    Returns the path written (with ``.npz`` appended if missing).
+    ``metadata`` (any JSON-serialisable dict) is embedded in the archive and
+    comes back via :func:`read_metadata`.  Returns the path written (with
+    ``.npz`` appended if missing).
     """
     path = str(path)
     if not path.endswith(".npz"):
         path = path + ".npz"
-    state = module.state_dict()
+    state = dict(module.state_dict())
+    state.update(_metadata_entry(metadata))
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -40,16 +92,13 @@ def save_weights(module: Module, path: str | os.PathLike) -> str:
 
 def load_weights(module: Module, path: str | os.PathLike) -> Module:
     """Load weights saved by :func:`save_weights` into ``module`` (strict match)."""
-    path = str(path)
-    if not os.path.exists(path) and os.path.exists(path + ".npz"):
-        path = path + ".npz"
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(load_model_state(path))
     return module
 
 
-def save_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLike) -> str:
+def save_checkpoint(
+    module: Module, optimizer: Optimizer, path: str | os.PathLike, metadata: dict | None = None
+) -> str:
     """Write model parameters and the complete optimiser state to one ``.npz``.
 
     Returns the path written (with ``.npz`` appended if missing).
@@ -62,6 +111,7 @@ def save_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLik
         state[_MODEL_PREFIX + key] = value
     for key, value in optimizer.state_dict().items():
         state[_OPTIM_PREFIX + key] = np.asarray(value)
+    state.update(_metadata_entry(metadata))
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -71,20 +121,59 @@ def save_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLik
 
 def load_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLike) -> None:
     """Restore a checkpoint written by :func:`save_checkpoint` (strict match)."""
-    path = str(path)
-    if not os.path.exists(path) and os.path.exists(path + ".npz"):
-        path = path + ".npz"
+    path = _normalize_path(path)
     model_state: dict[str, np.ndarray] = {}
     optim_state: dict[str, np.ndarray] = {}
-    with np.load(path) as archive:
+    with _open_archive(path) as archive:
         for key in archive.files:
+            if key == _META_KEY:
+                continue
             if key.startswith(_MODEL_PREFIX):
                 model_state[key[len(_MODEL_PREFIX):]] = archive[key]
             elif key.startswith(_OPTIM_PREFIX):
                 optim_state[key[len(_OPTIM_PREFIX):]] = archive[key]
             else:
-                raise KeyError(f"unexpected checkpoint key {key!r}")
+                raise KeyError(f"unexpected checkpoint key {key!r} in {path!r}")
     if not optim_state:
-        raise KeyError("checkpoint has no optimizer state (was it saved with save_weights?)")
+        raise KeyError(
+            f"checkpoint {path!r} has no optimizer state (was it saved with save_weights?)"
+        )
     module.load_state_dict(model_state)
     optimizer.load_state_dict(optim_state)
+
+
+def read_metadata(path: str | os.PathLike) -> dict:
+    """Return the JSON metadata embedded in an archive (``{}`` when absent)."""
+    path = _normalize_path(path)
+    with _open_archive(path) as archive:
+        if _META_KEY not in archive.files:
+            return {}
+        raw = bytes(archive[_META_KEY])
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"corrupt metadata block in {path!r}: {exc}") from exc
+
+
+def load_model_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Model parameters from either a weights archive or a full checkpoint.
+
+    ``save_weights`` archives return their keys as-is; ``save_checkpoint``
+    archives return the ``model/`` entries with the prefix stripped (the
+    optimiser state is ignored).  Raises :class:`CheckpointError` when the
+    archive holds no model parameters at all.
+    """
+    path = _normalize_path(path)
+    state: dict[str, np.ndarray] = {}
+    with _open_archive(path) as archive:
+        keys = [key for key in archive.files if key != _META_KEY]
+        is_checkpoint = any(key.startswith(_MODEL_PREFIX) for key in keys)
+        for key in keys:
+            if is_checkpoint:
+                if key.startswith(_MODEL_PREFIX):
+                    state[key[len(_MODEL_PREFIX):]] = archive[key]
+            elif not key.startswith(_OPTIM_PREFIX):
+                state[key] = archive[key]
+    if not state:
+        raise CheckpointError(f"archive {path!r} contains no model parameters")
+    return state

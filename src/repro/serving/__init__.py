@@ -1,0 +1,31 @@
+"""Long-lived model-serving subsystem (registry, micro-batching, streaming, HTTP).
+
+Layering (stdlib + NumPy only):
+
+* :mod:`repro.serving.registry` — name/version → ``.npz`` archive → warm
+  :class:`~repro.unet.SceneClassifier`, with hot-swap on version bump.
+* :mod:`repro.serving.batching` — queue + deadline/size micro-batcher that
+  coalesces concurrent single-tile requests into batched forward passes.
+* :mod:`repro.serving.streaming` — row-band streaming classification of
+  scenes larger than memory, bit-identical to the whole-scene engine.
+* :mod:`repro.serving.service` — JSON endpoints (``/healthz``, ``/models``,
+  ``/predict``) over ``http.server``; ``repro-seaice serve`` is the CLI.
+"""
+
+from .batching import BatcherStats, MicroBatcher, PendingPrediction
+from .registry import ModelRecord, ModelRegistry
+from .service import InferenceService, ServiceConfig, make_server, run_service
+from .streaming import StreamingSceneClassifier
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "PendingPrediction",
+    "ModelRecord",
+    "ModelRegistry",
+    "InferenceService",
+    "ServiceConfig",
+    "make_server",
+    "run_service",
+    "StreamingSceneClassifier",
+]

@@ -1,0 +1,226 @@
+"""Request queue + micro-batcher: coalesce concurrent tile predictions.
+
+Serving traffic arrives as many independent single-tile requests, but the
+NumPy engine is far more efficient predicting one ``(N, H, W, 3)`` batch
+than ``N`` separate ``(1, H, W, 3)`` calls — the offset-GEMM forward
+amortises its per-call setup (tensor conversion, layer dispatch, softmax)
+across the whole batch and runs bigger, better-shaped GEMMs.
+
+The :class:`MicroBatcher` owns a single worker thread and a
+``queue.Queue``.  Callers :meth:`submit` a tile and get a
+:class:`PendingPrediction` future; the worker drains the queue until either
+``max_batch`` requests are waiting or ``max_delay_s`` has passed since the
+first one (the classic size-or-deadline trigger), groups the drained tiles
+by shape, and runs one batched call per group through the shared prediction
+seam (:func:`repro.unet.predict_batch_probabilities`).  Under load the
+batches fill up and throughput rises; a lone request only ever waits
+``max_delay_s``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BatcherStats", "MicroBatcher", "PendingPrediction"]
+
+#: ``predict_fn`` contract: ``(N, H, W, 3) uint8 -> (N, K, H, W) float32``.
+PredictFn = Callable[[np.ndarray], np.ndarray]
+
+
+class PendingPrediction:
+    """Future-like handle for one submitted tile."""
+
+    __slots__ = ("tile", "_event", "_result", "_error")
+
+    def __init__(self, tile: np.ndarray) -> None:
+        self.tile = tile
+        self._event = threading.Event()
+        self._result: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, result: np.ndarray | None, error: BaseException | None = None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the prediction is available; re-raises worker errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"prediction not ready within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class BatcherStats:
+    """Counters for observing how well coalescing works."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+        }
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-tile requests into batched predictions.
+
+    Parameters
+    ----------
+    predict_fn:
+        Batched prediction callable ``(N, H, W, 3) -> (N, K, H, W)``; bind a
+        warm model with e.g.
+        ``lambda stack: predict_batch_probabilities(stack, model, filt)``.
+    max_batch:
+        Flush as soon as this many requests are waiting.
+    max_delay_s:
+        Flush at this age of the oldest waiting request even if the batch is
+        not full (the tail-latency bound a lone caller pays).
+    """
+
+    def __init__(self, predict_fn: PredictFn, max_batch: int = 8, max_delay_s: float = 0.005) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        self._predict_fn = predict_fn
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._queue: queue.Queue[PendingPrediction | None] = queue.Queue()
+        self._stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._worker = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def submit(self, tile: np.ndarray) -> PendingPrediction:
+        """Enqueue one ``(H, W, 3)`` tile; returns a future for its probabilities."""
+        if self._closed.is_set():
+            raise RuntimeError("MicroBatcher is closed")
+        arr = np.asarray(tile)
+        if arr.ndim != 3 or arr.shape[-1] != 3:
+            raise ValueError(f"expected one (H, W, 3) tile, got shape {arr.shape}")
+        pending = PendingPrediction(arr)
+        self._queue.put(pending)
+        return pending
+
+    def predict(self, tile: np.ndarray, timeout: float | None = 60.0) -> np.ndarray:
+        """Synchronous convenience: submit one tile and wait for its ``(K, H, W)`` map."""
+        return self.submit(tile).result(timeout)
+
+    def stats(self) -> BatcherStats:
+        with self._stats_lock:
+            return BatcherStats(
+                requests=self._stats.requests,
+                batches=self._stats.batches,
+                max_batch_size=self._stats.max_batch_size,
+            )
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Stop accepting work, drain what is queued, and join the worker."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self._queue.put(None)
+        self._worker.join(timeout)
+        # A submit() that raced past the closed-check may have enqueued behind
+        # the shutdown sentinel; fail those immediately instead of letting the
+        # callers sit in result() until their timeout.  Only drain once the
+        # worker has really exited — while it is still flushing a backlog the
+        # queued items ahead of the sentinel are its to serve, not ours.
+        if self._worker.is_alive():
+            return
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not None:
+                leftover._resolve(None, RuntimeError("MicroBatcher closed before prediction"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
+            if first is None:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.max_delay_s
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    stop = True
+                    break
+                batch.append(item)
+            self._flush(batch)
+            if stop:
+                return
+
+    def _flush(self, batch: list[PendingPrediction]) -> None:
+        with self._stats_lock:
+            self._stats.requests += len(batch)
+            self._stats.batches += 1
+            self._stats.max_batch_size = max(self._stats.max_batch_size, len(batch))
+        groups: dict[tuple[int, ...], list[PendingPrediction]] = {}
+        for pending in batch:
+            groups.setdefault(pending.tile.shape, []).append(pending)
+        for group in groups.values():
+            try:
+                stack = np.stack([p.tile for p in group])
+                probs = self._predict_fn(stack)
+                if probs.shape[0] != len(group):
+                    raise RuntimeError(
+                        f"predict_fn returned {probs.shape[0]} maps for {len(group)} tiles"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - delivered to the caller
+                for pending in group:
+                    pending._resolve(None, exc)
+                continue
+            for pending, prob in zip(group, probs):
+                # Copy, not a view: a slice of the batch output would pin the
+                # whole (N, K, H, W) array alive for as long as any single
+                # caller keeps its map.
+                pending._resolve(np.array(prob))

@@ -1,0 +1,276 @@
+"""Model registry: name/version → checkpoint archive → warm classifier.
+
+The registry is the serving subsystem's source of truth for *which* model
+answers a request.  It maps ``(name, version)`` pairs to ``.npz`` archives
+(either ``save_weights`` weight files or full ``save_checkpoint`` training
+checkpoints), lazily builds a :class:`~repro.unet.UNet` from the
+``unet_config`` block embedded in the archive metadata, and keeps the loaded
+:class:`~repro.unet.SceneClassifier` warm so repeated requests never pay the
+cold-start cost again.
+
+Two registration styles coexist:
+
+* **directory-backed** — ``ModelRegistry("registry/")`` scans
+  ``registry/<name>/<version>.npz`` (version stems are integers, a leading
+  ``v`` is allowed).  Re-scanning happens on every unversioned lookup, so
+  dropping ``<name>/3.npz`` next to a served ``<name>/2.npz`` hot-swaps the
+  model without restarting the service.
+* **explicit** — ``registry.register(name, version, path)`` for archives
+  living anywhere.
+
+``publish`` is the write side: it saves a model (optionally with its
+optimiser state) into the registry layout with enough embedded metadata to
+reload it from the archive alone.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import asdict, dataclass, field
+
+from ..nn.optimizers import Optimizer
+from ..nn.serialization import (
+    CheckpointError,
+    load_model_state,
+    read_metadata,
+    save_checkpoint,
+    save_weights,
+)
+from ..unet import InferenceConfig, SceneClassifier, UNet, UNetConfig
+
+__all__ = ["ModelRecord", "ModelRegistry"]
+
+_VERSION_RE = re.compile(r"^v?(\d+)\.npz$")
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One registered model version."""
+
+    name: str
+    version: int
+    path: str
+
+    def metadata(self) -> dict:
+        return read_metadata(self.path)
+
+
+@dataclass
+class _WarmEntry:
+    record: ModelRecord
+    classifier: SceneClassifier
+
+
+def _unet_from_metadata(record: ModelRecord, metadata: dict) -> UNet:
+    config_dict = metadata.get("unet_config")
+    if config_dict is None:
+        raise CheckpointError(
+            f"archive {record.path!r} has no 'unet_config' metadata; re-save it with "
+            "ModelRegistry.publish (or save_weights/save_checkpoint with metadata=...) "
+            "so the registry can rebuild the model"
+        )
+    try:
+        config = UNetConfig(**config_dict)
+    except TypeError as exc:
+        raise CheckpointError(f"invalid 'unet_config' metadata in {record.path!r}: {exc}") from exc
+    return UNet(config)
+
+
+@dataclass
+class ModelRegistry:
+    """Thread-safe lazy-loading model store with hot-swap on version bump.
+
+    ``inference`` overrides the per-archive inference settings for every
+    model (the service's ``--inference-config`` flag); when it is ``None``
+    each archive's embedded ``inference`` metadata is used, falling back to
+    :class:`InferenceConfig` defaults.
+    """
+
+    root: str | None = None
+    inference: InferenceConfig | None = None
+    _records: dict[str, dict[int, ModelRecord]] = field(default_factory=dict, repr=False)
+    _explicit: dict[str, dict[int, ModelRecord]] = field(default_factory=dict, repr=False)
+    _warm: dict[tuple[str, int], _WarmEntry] = field(default_factory=dict, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.root is not None:
+            self.root = str(self.root)
+            self.scan()
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, version: int, path: str | os.PathLike) -> ModelRecord:
+        """Register one archive explicitly (no directory layout required)."""
+        version = int(version)
+        if version < 1:
+            raise ValueError("model version must be >= 1")
+        path = str(path)
+        if not os.path.exists(path) and os.path.exists(path + ".npz"):
+            path = path + ".npz"
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"model archive not found: {path!r}")
+        record = ModelRecord(name=name, version=version, path=path)
+        with self._lock:
+            self._explicit.setdefault(name, {})[version] = record
+            self._records.setdefault(name, {})[version] = record
+        return record
+
+    def scan(self) -> None:
+        """Re-read the registry directory, picking up new models and versions."""
+        if self.root is None:
+            return
+        found: dict[str, dict[int, ModelRecord]] = {}
+        if os.path.isdir(self.root):
+            for name in sorted(os.listdir(self.root)):
+                model_dir = os.path.join(self.root, name)
+                if not os.path.isdir(model_dir):
+                    continue
+                for entry in sorted(os.listdir(model_dir)):
+                    match = _VERSION_RE.match(entry)
+                    if match:
+                        version = int(match.group(1))
+                        found.setdefault(name, {})[version] = ModelRecord(
+                            name=name, version=version, path=os.path.join(model_dir, entry)
+                        )
+        with self._lock:
+            # Explicitly registered records (outside the root layout) survive a scan.
+            for name, versions in self._explicit.items():
+                for version, record in versions.items():
+                    found.setdefault(name, {}).setdefault(version, record)
+            self._records = found
+
+    def publish(
+        self,
+        name: str,
+        version: int,
+        model: UNet,
+        optimizer: Optimizer | None = None,
+        inference: InferenceConfig | None = None,
+        extra_metadata: dict | None = None,
+    ) -> ModelRecord:
+        """Save ``model`` into the registry layout and register it.
+
+        With ``optimizer`` the archive is a full training checkpoint (exact
+        resume *and* serving from one file); without it, weights only.  The
+        archive embeds the model's ``UNetConfig`` plus optional inference
+        settings, so :meth:`classifier` can rebuild everything from the file.
+        """
+        if self.root is None:
+            raise ValueError("publish requires a directory-backed registry (root=...)")
+        version = int(version)
+        if version < 1:
+            raise ValueError("model version must be >= 1")
+        metadata = dict(extra_metadata or {})
+        metadata["unet_config"] = asdict(model.config)
+        if inference is not None:
+            metadata["inference"] = inference.to_dict()
+        path = os.path.join(self.root, name, f"{version}.npz")
+        if optimizer is not None:
+            save_checkpoint(model, optimizer, path, metadata=metadata)
+        else:
+            save_weights(model, path, metadata=metadata)
+        return self.register(name, version, path)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def models(self) -> dict[str, list[int]]:
+        """``{name: sorted versions}`` of everything currently registered."""
+        self.scan()
+        with self._lock:
+            return {name: sorted(versions) for name, versions in sorted(self._records.items())}
+
+    def latest_version(self, name: str) -> int:
+        return max(self._versions_of(name))
+
+    def record(self, name: str, version: int | None = None) -> ModelRecord:
+        """The :class:`ModelRecord` for ``name`` (latest version when omitted).
+
+        Unversioned lookups re-scan the registry directory so version bumps
+        are noticed (the hot-swap contract); pinned lookups answer from the
+        known records and only fall back to a scan on a miss.
+        """
+        if version is None:
+            return self._records_snapshot(name, rescan=True).popitem()[1]
+        version = int(version)
+        with self._lock:
+            record = self._records.get(name, {}).get(version)
+        if record is not None:
+            return record
+        versions = self._records_snapshot(name, rescan=True)
+        if version not in versions:
+            raise KeyError(
+                f"model {name!r} has no version {version}; available: {sorted(versions)}"
+            )
+        return versions[version]
+
+    def _versions_of(self, name: str) -> list[int]:
+        return sorted(self._records_snapshot(name, rescan=True))
+
+    def _records_snapshot(self, name: str, rescan: bool) -> dict[int, ModelRecord]:
+        """``{version: record}`` for ``name``, sorted ascending by version."""
+        if rescan:
+            self.scan()
+        with self._lock:
+            versions = self._records.get(name)
+            if not versions:
+                raise KeyError(
+                    f"unknown model {name!r}; registered models: {sorted(self._records)}"
+                )
+            return dict(sorted(versions.items()))
+
+    # ------------------------------------------------------------------ #
+    # Warm classifiers
+    # ------------------------------------------------------------------ #
+    def classifier(self, name: str, version: int | None = None) -> SceneClassifier:
+        """A warm :class:`SceneClassifier` for ``name``/``version``.
+
+        The first call for a version loads the archive (model weights +
+        embedded configs); later calls return the same warm instance.  An
+        unversioned lookup tracks the latest registered version, so bumping
+        the version in the registry directory hot-swaps what gets served.
+        Serving a version retires warm instances of older versions of the
+        same model (a pinned older version is reloaded on demand).
+        """
+        record = self.record(name, version)
+        key = (record.name, record.version)
+        with self._lock:
+            entry = self._warm.get(key)
+        if entry is None:
+            # Load outside the lock: a slow archive read must not stall
+            # lookups of models that are already warm.
+            loaded = self._load(record)
+            with self._lock:
+                entry = self._warm.setdefault(key, _WarmEntry(record=record, classifier=loaded))
+        with self._lock:
+            for other in [k for k in self._warm if k[0] == record.name and k[1] < record.version]:
+                del self._warm[other]
+        return entry.classifier
+
+    def loaded_versions(self, name: str | None = None) -> list[tuple[str, int]]:
+        """The (name, version) pairs currently held warm."""
+        with self._lock:
+            keys = sorted(self._warm)
+        return [k for k in keys if name is None or k[0] == name]
+
+    def _load(self, record: ModelRecord) -> SceneClassifier:
+        metadata = record.metadata()
+        model = _unet_from_metadata(record, metadata)
+        try:
+            model.load_state_dict(load_model_state(record.path))
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"archive {record.path!r} does not match its declared unet_config: {exc}"
+            ) from exc
+        model.eval()
+        if self.inference is not None:
+            inference = self.inference
+        elif "inference" in metadata:
+            inference = InferenceConfig.from_dict(metadata["inference"])
+        else:
+            inference = InferenceConfig()
+        return SceneClassifier(model=model, config=inference)

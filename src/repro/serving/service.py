@@ -1,0 +1,289 @@
+"""JSON-over-HTTP serving front-end (stdlib ``http.server`` only).
+
+The service wires the other serving pieces together: a
+:class:`~repro.serving.registry.ModelRegistry` resolves model names to warm
+classifiers, and every model gets one shared
+:class:`~repro.serving.batching.MicroBatcher`, so tiles from *concurrent*
+HTTP requests (``ThreadingHTTPServer`` runs one thread per connection)
+coalesce into single batched forward passes.
+
+Endpoints::
+
+    GET  /healthz   → {"status": "ok", "uptime_s": ..., "models": [...]}
+    GET  /models    → registry listing (versions, latest, what is warm)
+    POST /predict   → {"model": "name", "version": 2, "tile": [[[r,g,b]...]]}
+                    → {"class_map": [[...]], "counts": {...}, ...}
+
+``/predict`` accepts one ``tile`` (``(H, W, 3)`` nested uint8 lists) or a
+``tiles`` batch, defaults to the registry's only model when just one is
+registered, and returns per-class probability maps instead of the argmax
+map when ``"proba": true``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..unet.inference import predict_batch_probabilities
+from .batching import MicroBatcher
+from .registry import ModelRegistry
+
+__all__ = ["ServiceConfig", "InferenceService", "make_server", "run_service"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the HTTP front-end and its micro-batchers."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch: int = 16
+    batch_window_s: float = 0.005
+    request_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+
+
+class InferenceService:
+    """Registry + per-model micro-batchers behind a JSON API (HTTP-agnostic)."""
+
+    def __init__(self, registry: ModelRegistry, config: ServiceConfig | None = None) -> None:
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.started_at = time.time()
+        self._batchers: dict[tuple[str, int], MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._tiles = 0
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "models": sorted(self.registry.models()),
+            "requests": self._requests,
+            "tiles": self._tiles,
+        }
+
+    def models_payload(self) -> dict:
+        models = self.registry.models()
+        warm = set(self.registry.loaded_versions())
+        return {
+            "models": [
+                {
+                    "name": name,
+                    "versions": versions,
+                    "latest": versions[-1],
+                    "warm": [v for v in versions if (name, v) in warm],
+                }
+                for name, versions in models.items()
+            ]
+        }
+
+    # ------------------------------------------------------------------ #
+    def _resolve_model_name(self, name: str | None) -> str:
+        if name:
+            return name
+        models = sorted(self.registry.models())
+        if len(models) == 1:
+            return models[0]
+        raise KeyError(
+            "request must name a 'model' when the registry holds "
+            f"{len(models)} models: {models}"
+        )
+
+    def _batcher(self, name: str, version: int | None) -> tuple[MicroBatcher, tuple[str, int]]:
+        record = self.registry.record(name, version)
+        key = (record.name, record.version)
+        with self._lock:
+            batcher = self._batchers.get(key)
+        if batcher is not None:
+            return batcher, key
+
+        # Cold path outside the lock: loading a big archive must not stall
+        # requests for models that are already warm.
+        classifier = self.registry.classifier(record.name, record.version)
+        cfg = classifier.config
+        filt = classifier.cloud_filter if cfg.apply_cloud_filter else None
+        model = classifier.model
+
+        def predict_fn(stack: np.ndarray, _model=model, _filt=filt) -> np.ndarray:
+            return predict_batch_probabilities(stack, _model, _filt)
+
+        batcher = MicroBatcher(
+            predict_fn,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.batch_window_s,
+        )
+        retired: list[MicroBatcher] = []
+        with self._lock:
+            existing = self._batchers.get(key)
+            if existing is not None:
+                retired.append(batcher)  # lost the load race; keep the first
+                batcher = existing
+            else:
+                self._batchers[key] = batcher
+                if version is None:
+                    # Hot swap: stop serving superseded versions of this model.
+                    for other in [k for k in self._batchers if k[0] == record.name and k[1] < record.version]:
+                        retired.append(self._batchers.pop(other))
+        for old in retired:
+            old.close()
+        return batcher, key
+
+    def predict_payload(self, body: dict) -> dict:
+        """Serve one ``/predict`` request body; raises ``ValueError``/``KeyError``."""
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        if ("tile" in body) == ("tiles" in body):
+            raise ValueError("request must provide exactly one of 'tile' or 'tiles'")
+        raw = body.get("tile") if "tile" in body else body.get("tiles")
+        try:
+            stack = np.asarray(raw, dtype=np.uint8)
+        except (OverflowError, TypeError, ValueError) as exc:
+            raise ValueError(f"tile pixels must be uint8 values in [0, 255]: {exc}") from exc
+        if "tile" in body:
+            stack = stack[None]
+        if stack.ndim != 4 or stack.shape[-1] != 3:
+            raise ValueError(f"tiles must be (H, W, 3) uint8 arrays, got shape {stack.shape[1:]}")
+
+        name = self._resolve_model_name(body.get("model"))
+        version = body.get("version")
+        return_proba = bool(body.get("proba", False))
+        start = time.perf_counter()
+        batcher, (name, resolved_version) = self._batcher(name, version)
+        pending = [batcher.submit(tile) for tile in stack]
+        probs = np.stack([p.result(self.config.request_timeout_s) for p in pending])
+        class_maps = probs.argmax(axis=1).astype(np.uint8)
+        with self._lock:
+            self._requests += 1
+            self._tiles += len(pending)
+
+        values, counts = np.unique(class_maps, return_counts=True)
+        payload: dict = {
+            "model": name,
+            "version": resolved_version,
+            "num_tiles": int(stack.shape[0]),
+            "tile_shape": list(stack.shape[1:3]),
+            "class_counts": {int(v): int(c) for v, c in zip(values, counts)},
+            "elapsed_ms": round((time.perf_counter() - start) * 1e3, 3),
+        }
+        maps_out = class_maps.tolist() if "tiles" in body else class_maps[0].tolist()
+        if return_proba:
+            payload["proba"] = probs.tolist() if "tiles" in body else probs[0].tolist()
+        payload["class_map"] = maps_out
+        return payload
+
+    def batcher_stats(self) -> dict:
+        with self._lock:
+            return {
+                f"{name}/{version}": batcher.stats().to_dict()
+                for (name, version), batcher in sorted(self._batchers.items())
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP layer
+# ---------------------------------------------------------------------- #
+def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt: str, *args) -> None:  # pragma: no cover - console noise
+            if not quiet:
+                super().log_message(fmt, *args)
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            try:
+                if self.path in ("/healthz", "/health"):
+                    self._send_json(200, service.health())
+                elif self.path == "/models":
+                    self._send_json(200, service.models_payload())
+                elif self.path == "/stats":
+                    self._send_json(200, {"batchers": service.batcher_stats()})
+                else:
+                    self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            except Exception as exc:  # noqa: BLE001 - must answer the socket
+                self._send_json(500, {"error": str(exc)})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/predict":
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                try:
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"request body is not valid JSON: {exc}") from exc
+                self._send_json(200, service.predict_payload(body))
+            except (ValueError, KeyError) as exc:
+                # str(KeyError) wraps the message in repr quotes; unwrap it.
+                message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+                self._send_json(400, {"error": message})
+            except TimeoutError as exc:
+                self._send_json(503, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 - must answer the socket
+                self._send_json(500, {"error": str(exc)})
+
+    return Handler
+
+
+def make_server(
+    service: InferenceService, host: str | None = None, port: int | None = None, quiet: bool = True
+) -> ThreadingHTTPServer:
+    """Bind a :class:`ThreadingHTTPServer` for ``service`` (port 0 → ephemeral).
+
+    The caller owns the server: run ``serve_forever()`` (often in a thread),
+    then ``shutdown()`` + ``server_close()`` and ``service.close()``.
+    """
+    host = service.config.host if host is None else host
+    port = service.config.port if port is None else port
+    return ThreadingHTTPServer((host, port), _make_handler(service, quiet))
+
+
+def run_service(service: InferenceService, quiet: bool = False, on_ready=None) -> None:
+    """Blocking convenience runner used by the CLI (Ctrl-C to stop).
+
+    ``on_ready(server)`` is called after the socket is bound but before
+    requests are served — the CLI uses it to print the machine-readable
+    ready line with the actual port (``--port 0`` binds an ephemeral one).
+    """
+    server = make_server(service, quiet=quiet)
+    try:
+        if on_ready is not None:
+            on_ready(server)
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()

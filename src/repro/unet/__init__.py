@@ -1,7 +1,13 @@
 """U-Net model, trainer and inference pipeline for sea-ice classification."""
 
 from .blocks import DecoderBlock, DoubleConv, EncoderBlock
-from .inference import InferenceConfig, SceneClassifier, predict_tile_probabilities, predict_tiles
+from .inference import (
+    InferenceConfig,
+    SceneClassifier,
+    predict_batch_probabilities,
+    predict_tile_probabilities,
+    predict_tiles,
+)
 from .model import UNet, UNetConfig, build_unet, paper_unet_config, tiny_unet_config
 from .trainer import EpochStats, TrainingHistory, UNetTrainer
 
@@ -11,6 +17,7 @@ __all__ = [
     "EncoderBlock",
     "InferenceConfig",
     "SceneClassifier",
+    "predict_batch_probabilities",
     "predict_tile_probabilities",
     "predict_tiles",
     "UNet",

@@ -13,7 +13,7 @@ artifacts of hard tile boundaries.
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from .model import UNet
 __all__ = [
     "InferenceConfig",
     "SceneClassifier",
+    "predict_batch_probabilities",
     "predict_tiles",
     "predict_tile_probabilities",
 ]
@@ -59,6 +60,26 @@ class InferenceConfig:
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict of every option (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InferenceConfig":
+        """Build a config from a (JSON-loaded) dict, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise ValueError(f"expected a dict of InferenceConfig options, got {type(data).__name__}")
+        known = {f.name: f.type for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown InferenceConfig keys {unknown}; valid keys are {sorted(known)}"
+            )
+        kwargs = {}
+        for key, value in data.items():
+            kwargs[key] = bool(value) if key == "apply_cloud_filter" else int(value)
+        return cls(**kwargs)
+
 
 def _validate_stack(tiles: np.ndarray) -> np.ndarray:
     stack = np.asarray(tiles)
@@ -72,6 +93,33 @@ def _num_classes_of(model) -> int:
     return int(getattr(config, "num_classes", NUM_CLASSES))
 
 
+def _model_input_multiple(model) -> int:
+    """Spatial divisor the model's forward pass requires (1 when unconstrained)."""
+    config = getattr(model, "config", None)
+    min_input_size = getattr(config, "min_input_size", None)
+    if callable(min_input_size):
+        return max(1, int(min_input_size()))
+    return 1
+
+
+def _pad_stack_to_multiple(stack: np.ndarray, multiple: int) -> np.ndarray:
+    """Reflect-pad the bottom/right of every tile in an ``(N, H, W, C)`` stack
+    so H and W are multiples of ``multiple`` (edge padding per axis when the
+    tile is too small to reflect, matching :func:`repro.imops.resize.pad_to_multiple`)."""
+    n, h, w = stack.shape[:3]
+    pad_h, pad_w = (-h) % multiple, (-w) % multiple
+    if pad_h == 0 and pad_w == 0:
+        return stack
+    out = stack
+    if pad_h:
+        spec = [(0, 0), (0, pad_h)] + [(0, 0)] * (out.ndim - 2)
+        out = np.pad(out, spec, mode="reflect" if pad_h <= h - 1 else "edge")
+    if pad_w:
+        spec = [(0, 0), (0, 0), (0, pad_w)] + [(0, 0)] * (out.ndim - 3)
+        out = np.pad(out, spec, mode="reflect" if pad_w <= w - 1 else "edge")
+    return out
+
+
 # Worker-process state for multi-process prediction.  The globals are set in
 # the parent immediately before the pool is forked, so workers inherit the
 # model and filter copy-on-write instead of receiving them pickled per task.
@@ -82,16 +130,20 @@ _WORKER_MODEL = None
 _WORKER_FILTER: CloudShadowFilter | None = None
 
 
-def _predict_probs_batch(
+def predict_batch_probabilities(
     batch: np.ndarray,
     model: UNet | None = None,
     cloud_filter: CloudShadowFilter | None = None,
 ) -> np.ndarray:
-    """Probability maps for one tile batch (module-level, hence picklable).
+    """Probability maps ``(N, K, H, W)`` for one ``(N, H, W, 3)`` tile batch.
 
-    Pool workers call it with only ``batch`` and fall back to the
-    fork-inherited globals; the in-process path passes model and filter
-    explicitly so both paths share one implementation.
+    This is the single batchable prediction seam every consumer shares: the
+    in-process loop, the fork-pool workers (which call it with only ``batch``
+    and fall back to the fork-inherited globals), and the serving
+    micro-batcher.  Tiles whose spatial size the model cannot ingest (not a
+    multiple of ``config.min_input_size()``) are reflect-padded bottom/right
+    before the forward pass and the probability maps cropped back, so small
+    scenes and 1-pixel remainder bands classify cleanly.
     """
     if model is None:
         model = _WORKER_MODEL
@@ -100,7 +152,14 @@ def _predict_probs_batch(
         raise RuntimeError("inference worker state not initialised")
     if cloud_filter is not None:
         batch = cloud_filter.apply_batch(batch)
-    return model.predict_proba(image_to_tensor(batch)).astype(np.float32, copy=False)
+    h, w = batch.shape[1:3]
+    padded = _pad_stack_to_multiple(batch, _model_input_multiple(model))
+    probs = model.predict_proba(image_to_tensor(padded)).astype(np.float32, copy=False)
+    return probs[:, :, :h, :w]
+
+
+#: Backwards-compatible alias (the pre-serving private name).
+_predict_probs_batch = predict_batch_probabilities
 
 
 def predict_tile_probabilities(
@@ -132,7 +191,7 @@ def predict_tile_probabilities(
         _WORKER_MODEL, _WORKER_FILTER = model, cloud_filter
         try:
             result = parallel_map(
-                _predict_probs_batch,
+                predict_batch_probabilities,
                 batches,
                 num_workers=min(num_workers, len(batches)),
                 chunk_size=1,
@@ -142,7 +201,7 @@ def predict_tile_probabilities(
         finally:
             _WORKER_MODEL, _WORKER_FILTER = None, None
     else:
-        outputs = [_predict_probs_batch(batch, model, cloud_filter) for batch in batches]
+        outputs = [predict_batch_probabilities(batch, model, cloud_filter) for batch in batches]
     return np.concatenate(outputs, axis=0)
 
 
@@ -167,11 +226,8 @@ def predict_tiles(
 
     outputs = []
     for start in range(0, n, batch_size):
-        batch = stack[start : start + batch_size]
-        if cloud_filter is not None:
-            batch = cloud_filter.apply_batch(batch)
-        x = image_to_tensor(batch)
-        outputs.append(model.predict(x))
+        probs = predict_batch_probabilities(stack[start : start + batch_size], model, cloud_filter)
+        outputs.append(probs.argmax(axis=1).astype(np.uint8))
     return np.concatenate(outputs, axis=0)
 
 

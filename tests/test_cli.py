@@ -54,6 +54,16 @@ class TestCommands:
         args = build_parser().parse_args(["classify"])
         assert args.overlap == 0 and args.workers == 1
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--registry", "models/"])
+        assert args.registry == "models/"
+        assert args.port == 8080 and args.max_batch == 16
+        assert args.batch_window_ms == 5.0 and not args.demo
+
+    def test_serve_demo_flags(self):
+        args = build_parser().parse_args(["serve", "--demo", "--demo-epochs", "0", "--port", "0"])
+        assert args.demo and args.demo_epochs == 0 and args.port == 0
+
     def test_classify_command_runs(self, capsys):
         code = main([
             "classify", "--scene-size", "64", "--tile-size", "32", "--overlap", "8",
@@ -62,3 +72,19 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "tiles_per_s" in out and '"overlap": 8' in out
+
+    def test_serve_without_registry_errors(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_serve_empty_registry_errors(self, tmp_path, capsys):
+        assert main(["serve", "--registry", str(tmp_path)]) == 2
+        assert "no models" in capsys.readouterr().err
+
+    def test_serve_inference_config_file_rejects_unknown_keys(self, tmp_path, capsys):
+        import json as json_mod
+
+        config_path = tmp_path / "inference.json"
+        config_path.write_text(json_mod.dumps({"tile_size": 32, "bogus": 1}))
+        with pytest.raises(ValueError, match="unknown InferenceConfig keys"):
+            main(["serve", "--registry", str(tmp_path), "--inference-config", str(config_path)])

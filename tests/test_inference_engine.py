@@ -50,6 +50,29 @@ class TestInferenceConfig:
         with pytest.raises(ValueError):
             InferenceConfig(**kwargs)
 
+    def test_dict_roundtrip(self):
+        config = InferenceConfig(tile_size=48, overlap=8, apply_cloud_filter=False,
+                                 batch_size=4, num_workers=2)
+        data = config.to_dict()
+        import json
+
+        assert json.loads(json.dumps(data)) == data  # JSON-safe
+        assert InferenceConfig.from_dict(data) == config
+
+    def test_from_dict_partial_uses_defaults(self):
+        config = InferenceConfig.from_dict({"tile_size": 64})
+        assert config == InferenceConfig(tile_size=64)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown InferenceConfig keys.*'typo_size'"):
+            InferenceConfig.from_dict({"typo_size": 32})
+        with pytest.raises(ValueError, match="dict"):
+            InferenceConfig.from_dict([("tile_size", 32)])
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError):
+            InferenceConfig.from_dict({"tile_size": 32, "overlap": 32})
+
 
 class TestPredictTiles:
     def test_empty_stack_returns_empty_map(self, engine_model):
@@ -123,6 +146,53 @@ class TestOverlapBlending:
         class_map = SceneClassifier(model=engine_model, config=config).classify_scene(scene)
         assert class_map.shape == scene.shape[:2]
         assert set(np.unique(class_map)).issubset({0, 1, 2})
+
+
+class TestSmallSceneHandling:
+    """Scenes (or tile sizes) the model cannot ingest directly must pad-and-crop."""
+
+    @pytest.fixture(scope="class")
+    def deep_model(self):
+        # depth 3 → forward requires spatial sizes divisible by 8.
+        from repro.unet import UNetConfig
+
+        return UNet(UNetConfig(depth=3, base_channels=4, dropout=0.0, seed=2))
+
+    def test_tile_size_not_divisible_by_model_step(self, deep_model):
+        """Regression: tile_size 20 with a depth-3 model used to raise."""
+        scene = np.random.default_rng(0).integers(0, 255, size=(20, 20, 3), dtype=np.uint8)
+        config = InferenceConfig(tile_size=20, apply_cloud_filter=False)
+        class_map = SceneClassifier(model=deep_model, config=config).classify_scene(scene)
+        assert class_map.shape == (20, 20)
+
+    def test_scene_smaller_than_tile(self, deep_model):
+        scene = np.random.default_rng(1).integers(0, 255, size=(13, 9, 3), dtype=np.uint8)
+        config = InferenceConfig(tile_size=32, apply_cloud_filter=False)
+        class_map = SceneClassifier(model=deep_model, config=config).classify_scene(scene)
+        assert class_map.shape == (13, 9)
+
+    def test_one_pixel_band_after_padding(self, deep_model):
+        """A 33-row scene with 32-px tiles leaves a 1-pixel remainder band."""
+        scene = np.random.default_rng(2).integers(0, 255, size=(33, 1, 3), dtype=np.uint8)
+        config = InferenceConfig(tile_size=32, apply_cloud_filter=False)
+        class_map = SceneClassifier(model=deep_model, config=config).classify_scene(scene)
+        assert class_map.shape == (33, 1)
+
+    def test_padding_does_not_change_divisible_results(self, engine_model, tiny_dataset):
+        """The pad-and-crop seam is a no-op when sizes already divide evenly."""
+        tiles = tiny_dataset.images[:4]
+        probs = predict_tile_probabilities(engine_model, tiles, batch_size=2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+        assert probs.shape[2:] == tiles.shape[1:3]
+
+    def test_odd_tiles_through_predict_tiles(self, deep_model):
+        tiles = np.random.default_rng(3).integers(0, 255, size=(3, 20, 28, 3), dtype=np.uint8)
+        labels = predict_tiles(deep_model, tiles, batch_size=2)
+        assert labels.shape == (3, 20, 28)
+        probs = predict_tile_probabilities(deep_model, tiles, batch_size=2)
+        assert probs.shape == (3, 3, 20, 28)
+        np.testing.assert_array_equal(probs.argmax(axis=1).astype(np.uint8), labels)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
 
 
 class TestEvalModeMemory:

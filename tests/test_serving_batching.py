@@ -1,0 +1,157 @@
+"""Tests for the micro-batching request queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import MicroBatcher
+from repro.unet import UNet, predict_batch_probabilities, tiny_unet_config
+
+
+def _counting_predict_fn(calls: list[int]):
+    """A tiling-invariant stub predictor that records every batch size."""
+
+    def predict(stack: np.ndarray) -> np.ndarray:
+        calls.append(stack.shape[0])
+        mean = stack.astype(np.float32).mean(axis=-1) / 255.0  # (N, H, W)
+        probs = np.stack([mean, 1.0 - mean], axis=1)
+        return probs.astype(np.float32)
+
+    return predict
+
+
+@pytest.fixture()
+def tiles(rng):
+    return rng.integers(0, 255, size=(24, 16, 16, 3), dtype=np.uint8)
+
+
+class TestMicroBatcher:
+    def test_single_request_roundtrip(self, tiles):
+        calls: list[int] = []
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=4, max_delay_s=0.001) as batcher:
+            probs = batcher.predict(tiles[0])
+        assert probs.shape == (2, 16, 16)
+        assert calls == [1]
+
+    def test_concurrent_requests_coalesce(self, tiles):
+        calls: list[int] = []
+        # A long window guarantees the concurrent submissions land in one flush.
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=32, max_delay_s=0.25) as batcher:
+            pending = [batcher.submit(tile) for tile in tiles]
+            results = [p.result(10.0) for p in pending]
+        assert len(results) == len(tiles)
+        stats = batcher.stats()
+        assert stats.requests == len(tiles)
+        assert stats.batches < len(tiles)  # actually coalesced
+        assert stats.max_batch_size > 1
+        assert max(calls) > 1
+
+    def test_batch_size_trigger_flushes_before_deadline(self, tiles):
+        calls: list[int] = []
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=4, max_delay_s=30.0) as batcher:
+            start = time.perf_counter()
+            pending = [batcher.submit(tile) for tile in tiles[:4]]
+            for p in pending:
+                p.result(5.0)
+            elapsed = time.perf_counter() - start
+        assert elapsed < 5.0  # size trigger fired, not the 30 s deadline
+        assert calls and calls[0] == 4
+
+    def test_results_match_direct_prediction(self, tiles):
+        calls: list[int] = []
+        predict = _counting_predict_fn(calls)
+        with MicroBatcher(predict, max_batch=8, max_delay_s=0.05) as batcher:
+            pending = [batcher.submit(tile) for tile in tiles]
+            batched = np.stack([p.result(10.0) for p in pending])
+        direct = predict(tiles)
+        np.testing.assert_array_equal(batched, direct)
+
+    def test_mixed_tile_shapes_grouped_not_crashed(self, rng):
+        calls: list[int] = []
+        small = rng.integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+        big = rng.integers(0, 255, size=(32, 32, 3), dtype=np.uint8)
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=8, max_delay_s=0.2) as batcher:
+            pending = [batcher.submit(t) for t in (small, big, small, big)]
+            shapes = [p.result(10.0).shape for p in pending]
+        assert shapes == [(2, 16, 16), (2, 32, 32), (2, 16, 16), (2, 32, 32)]
+
+    def test_predict_fn_error_propagates_to_callers(self, tiles):
+        def boom(stack: np.ndarray) -> np.ndarray:
+            raise RuntimeError("model exploded")
+
+        with MicroBatcher(boom, max_batch=4, max_delay_s=0.01) as batcher:
+            pending = batcher.submit(tiles[0])
+            with pytest.raises(RuntimeError, match="model exploded"):
+                pending.result(10.0)
+
+    def test_submit_after_close_raises(self, tiles):
+        batcher = MicroBatcher(_counting_predict_fn([]), max_batch=2, max_delay_s=0.01)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(tiles[0])
+
+    def test_close_drains_queued_work(self, tiles):
+        calls: list[int] = []
+        batcher = MicroBatcher(_counting_predict_fn(calls), max_batch=4, max_delay_s=0.05)
+        pending = [batcher.submit(tile) for tile in tiles[:6]]
+        batcher.close()
+        for p in pending:
+            assert p.result(5.0).shape == (2, 16, 16)
+
+    def test_rejects_bad_tiles(self, tiles):
+        with MicroBatcher(_counting_predict_fn([]), max_batch=2, max_delay_s=0.01) as batcher:
+            with pytest.raises(ValueError, match=r"\(H, W, 3\)"):
+                batcher.submit(tiles)  # a whole stack, not one tile
+            with pytest.raises(ValueError):
+                MicroBatcher(_counting_predict_fn([]), max_batch=0)
+            with pytest.raises(ValueError):
+                MicroBatcher(_counting_predict_fn([]), max_delay_s=-1.0)
+
+    def test_real_model_through_batcher_matches_direct(self, rng):
+        """The batcher glued to the shared prediction seam is exact."""
+        model = UNet(tiny_unet_config(seed=31))
+        tiles = rng.integers(0, 255, size=(5, 32, 32, 3), dtype=np.uint8)
+        with MicroBatcher(lambda s: predict_batch_probabilities(s, model),
+                          max_batch=5, max_delay_s=0.2) as batcher:
+            pending = [batcher.submit(tile) for tile in tiles]
+            batched = np.stack([p.result(30.0) for p in pending])
+        direct = predict_batch_probabilities(tiles, model)
+        np.testing.assert_array_equal(batched, direct)
+
+    def test_close_fails_requests_enqueued_behind_sentinel(self, tiles):
+        """A submit that races past the closed-check must error, not hang."""
+        from repro.serving import PendingPrediction
+
+        batcher = MicroBatcher(_counting_predict_fn([]), max_batch=2, max_delay_s=0.01)
+        batcher.close()
+        stranded = PendingPrediction(tiles[0])
+        batcher._queue.put(stranded)  # simulate the submit/close race
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed before prediction"):
+            stranded.result(1.0)
+
+    def test_results_do_not_pin_the_whole_batch(self, tiles):
+        """Each returned map must own its memory, not view the batch array."""
+        with MicroBatcher(_counting_predict_fn([]), max_batch=8, max_delay_s=0.1) as batcher:
+            pending = [batcher.submit(tile) for tile in tiles[:4]]
+            results = [p.result(10.0) for p in pending]
+        assert all(result.base is None for result in results)
+
+    def test_many_threads_share_one_batcher(self, tiles):
+        calls: list[int] = []
+        results: dict[int, np.ndarray] = {}
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=8, max_delay_s=0.02) as batcher:
+            def client(i: int) -> None:
+                results[i] = batcher.predict(tiles[i % len(tiles)], timeout=10.0)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 16
+        assert sum(calls) == 16

@@ -1,0 +1,207 @@
+"""Tests for the HTTP serving front-end (in-process ThreadingHTTPServer)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceService, ModelRegistry, ServiceConfig, make_server
+from repro.unet import InferenceConfig, SceneClassifier, UNet, UNetConfig
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A live service on an ephemeral port, backed by a one-model registry."""
+    root = tmp_path_factory.mktemp("registry")
+    model = UNet(UNetConfig(depth=2, base_channels=4, dropout=0.0, seed=17))
+    registry = ModelRegistry(str(root))
+    registry.publish("seaice", 1, model,
+                     inference=InferenceConfig(tile_size=32, apply_cloud_filter=False))
+    service = InferenceService(registry, ServiceConfig(port=0, batch_window_s=0.002))
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1], service, model
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(5.0)
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path, body=None if body is None else json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        port, _, _ = served
+        status, payload = _request(port, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["models"] == ["seaice"]
+        assert payload["uptime_s"] >= 0
+
+    def test_models_listing(self, served):
+        port, _, _ = served
+        status, payload = _request(port, "GET", "/models")
+        assert status == 200
+        assert payload["models"][0]["name"] == "seaice"
+        assert payload["models"][0]["latest"] == 1
+
+    def test_predict_single_tile_matches_engine(self, served, rng):
+        port, _, model = served
+        tile = rng.integers(0, 255, size=(32, 32, 3), dtype=np.uint8)
+        status, payload = _request(port, "POST", "/predict",
+                                   {"model": "seaice", "tile": tile.tolist()})
+        assert status == 200
+        assert payload["model"] == "seaice" and payload["version"] == 1
+        expected = SceneClassifier(
+            model=model, config=InferenceConfig(tile_size=32, apply_cloud_filter=False)
+        ).classify_tiles(tile[None])[0]
+        np.testing.assert_array_equal(np.asarray(payload["class_map"], dtype=np.uint8), expected)
+        assert sum(payload["class_counts"].values()) == 32 * 32
+
+    def test_predict_batch_and_default_model(self, served, rng):
+        port, _, _ = served
+        tiles = rng.integers(0, 255, size=(3, 16, 16, 3), dtype=np.uint8)
+        # Single registered model → "model" key may be omitted.
+        status, payload = _request(port, "POST", "/predict", {"tiles": tiles.tolist()})
+        assert status == 200
+        assert payload["num_tiles"] == 3
+        maps = np.asarray(payload["class_map"], dtype=np.uint8)
+        assert maps.shape == (3, 16, 16)
+
+    def test_predict_proba_payload(self, served, rng):
+        port, _, _ = served
+        tile = rng.integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+        status, payload = _request(port, "POST", "/predict",
+                                   {"tile": tile.tolist(), "proba": True})
+        assert status == 200
+        proba = np.asarray(payload["proba"], dtype=np.float32)
+        assert proba.shape == (3, 16, 16)
+        np.testing.assert_allclose(proba.sum(axis=0), 1.0, atol=1e-4)
+
+    def test_concurrent_clients_coalesce_into_batches(self, served, rng):
+        port, service, _ = served
+        tiles = rng.integers(0, 255, size=(12, 16, 16, 3), dtype=np.uint8)
+        results: list[int] = []
+
+        def client(i: int) -> None:
+            status, _ = _request(port, "POST", "/predict", {"tile": tiles[i].tolist()})
+            results.append(status)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(len(tiles))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [200] * len(tiles)
+        stats = service.batcher_stats()["seaice/1"]
+        assert stats["requests"] >= len(tiles)
+
+    def test_stats_endpoint(self, served):
+        port, _, _ = served
+        status, payload = _request(port, "GET", "/stats")
+        assert status == 200
+        assert "batchers" in payload
+
+
+class TestErrorHandling:
+    def test_unknown_path_404(self, served):
+        port, _, _ = served
+        assert _request(port, "GET", "/nope")[0] == 404
+        assert _request(port, "POST", "/nope")[0] == 404
+
+    def test_unknown_model_400(self, served, rng):
+        port, _, _ = served
+        tile = rng.integers(0, 255, size=(16, 16, 3), dtype=np.uint8).tolist()
+        status, payload = _request(port, "POST", "/predict", {"model": "ghost", "tile": tile})
+        assert status == 400
+        assert "unknown model" in payload["error"]
+
+    def test_missing_tile_400(self, served):
+        port, _, _ = served
+        status, payload = _request(port, "POST", "/predict", {"model": "seaice"})
+        assert status == 400
+        assert "tile" in payload["error"]
+
+    def test_both_tile_and_tiles_400(self, served, rng):
+        port, _, _ = served
+        tile = rng.integers(0, 255, size=(16, 16, 3), dtype=np.uint8).tolist()
+        status, _ = _request(port, "POST", "/predict", {"tile": tile, "tiles": [tile]})
+        assert status == 400
+
+    def test_malformed_json_400(self, served):
+        port, _, _ = served
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("POST", "/predict", body="{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_bad_tile_shape_400(self, served):
+        port, _, _ = served
+        status, payload = _request(port, "POST", "/predict", {"tile": [[1, 2], [3, 4]]})
+        assert status == 400
+
+    def test_out_of_range_pixels_400(self, served):
+        if np.lib.NumpyVersion(np.__version__) < "2.0.0":
+            pytest.skip("NumPy < 2 silently wraps out-of-range uint8 values")
+        port, _, _ = served
+        status, payload = _request(port, "POST", "/predict",
+                                   {"tile": [[[256, 0, 0], [0, -1, 0]]]})
+        assert status == 400
+        assert "uint8" in payload["error"]
+
+
+class TestHotSwapEviction:
+    def test_superseded_batcher_and_warm_model_retired(self, tmp_path, rng):
+        """An unversioned request after a version bump stops serving the old
+        version: its micro-batcher is closed and its warm model dropped."""
+        model = UNet(UNetConfig(depth=2, base_channels=4, dropout=0.0, seed=23))
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        inference = InferenceConfig(tile_size=16, apply_cloud_filter=False)
+        registry.publish("m", 1, model, inference=inference)
+        service = InferenceService(registry, ServiceConfig(port=0, batch_window_s=0.0))
+        try:
+            tile = rng.integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+            assert service.predict_payload({"tile": tile.tolist()})["version"] == 1
+            assert list(service.batcher_stats()) == ["m/1"]
+
+            registry.publish("m", 2, model, inference=inference)
+            assert service.predict_payload({"tile": tile.tolist()})["version"] == 2
+            stats = service.batcher_stats()
+            assert "m/2" in stats and "m/1" not in stats
+            assert registry.loaded_versions("m") == [("m", 2)]
+
+            # Pinning the old version still works (reloaded on demand).
+            pinned = service.predict_payload({"tile": tile.tolist(), "version": 1})
+            assert pinned["version"] == 1
+        finally:
+            service.close()
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0}, {"batch_window_s": -0.1}, {"request_timeout_s": 0},
+    ])
+    def test_rejects_bad_options(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
