@@ -48,6 +48,26 @@ def write_bench_json(name: str, payload: dict) -> str:
     return path
 
 
+def update_bench_json(name: str, section: str, payload) -> str:
+    """Merge ``payload`` (any JSON-safe value) under ``section`` into ``BENCH_<name>.json``.
+
+    Used when several benchmark tests contribute to one results file (e.g.
+    the scene-throughput and compiled-plan arms of the inference benchmark):
+    existing sections written earlier in the run are preserved.
+    """
+    directory = os.environ.get("BENCH_JSON_DIR", ".")
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[section] = payload
+    return write_bench_json(name, data)
+
+
 def print_rows(title: str, rows: list[dict]) -> None:
     """Uniform table printer used by every benchmark module."""
     print(f"\n== {title} ==")

@@ -22,9 +22,10 @@ from repro.data.loader import image_to_tensor
 from repro.imops.resize import assemble_from_tiles, split_into_tiles
 from repro.nn.losses import softmax
 from repro.parallel import available_cpu_count
-from repro.unet import InferenceConfig, SceneClassifier, UNet, UNetConfig
+from repro.unet import CompiledUNet, InferenceConfig, SceneClassifier, UNet, UNetConfig
+from repro.unet.inference import predict_batch_probabilities
 
-from conftest import BENCH_SMOKE, print_rows, write_bench_json
+from conftest import BENCH_SMOKE, print_rows, update_bench_json
 
 TILE = 256
 SCENE = 512 if BENCH_SMOKE else 1024
@@ -110,11 +111,13 @@ def test_inference_throughput_serial_vs_batched_vs_multiprocess(model, big_scene
     ]
     print_rows(f"Scene inference throughput ({n_tiles} tiles of {TILE}x{TILE}, "
                f"{available_cpu_count()} CPUs available)", rows)
-    write_bench_json("inference_throughput", {
-        "config": {"tile": TILE, "scene": SCENE, "n_tiles": n_tiles,
-                   "workers": workers, "smoke": BENCH_SMOKE},
-        "rows": rows,
+    # Merge-write per section so a partial run (e.g. only this test) cannot
+    # wipe the "compiled" section the CI regression guard reads.
+    update_bench_json("inference_throughput", "config", {
+        "tile": TILE, "scene": SCENE, "n_tiles": n_tiles,
+        "workers": workers, "smoke": BENCH_SMOKE,
     })
+    update_bench_json("inference_throughput", "rows", rows)
 
     assert batched_map.shape == scene.shape[:2]
     assert mp_map.shape == scene.shape[:2]
@@ -130,6 +133,79 @@ def test_inference_throughput_serial_vs_batched_vs_multiprocess(model, big_scene
         assert best >= 2.0 * (n_tiles / t_seed), (
             f"engine reached {best:.2f} tiles/s vs seed {n_tiles / t_seed:.2f} tiles/s"
         )
+
+
+@pytest.mark.benchmark(group="inference")
+def test_compiled_plan_fixed_shape_serving_throughput(model):
+    """Compiled plans must beat the generic eval forward on the fixed-shape
+    single-tile serving workload, with near-zero steady-state allocations.
+
+    The serving subsystem re-runs the same ``(1, 32, 32, 3)`` forward for
+    every micro-batched request (PR 3's serving benchmark shape); this arm
+    measures exactly that hot path — generic layer walk vs the arena-backed
+    compiled plan — through the shared prediction seam, and records per-call
+    allocation behaviour under ``tracemalloc``.
+    """
+    import tracemalloc
+
+    serve_tile = 32
+    iters = 60 if BENCH_SMOKE else 300
+    rng = np.random.default_rng(11)
+    tile = rng.integers(0, 255, size=(1, serve_tile, serve_tile, 3), dtype=np.uint8)
+    engine = CompiledUNet(model)
+
+    def uncompiled() -> np.ndarray:
+        return predict_batch_probabilities(tile, model, None)
+
+    def compiled() -> np.ndarray:
+        return predict_batch_probabilities(tile, model, None, engine=engine)
+
+    ref, out = uncompiled(), compiled()  # warm both paths (plan compiles here)
+    np.testing.assert_allclose(out, ref, atol=1e-6)
+    assert np.array_equal(out.argmax(axis=1), ref.argmax(axis=1))
+
+    results = {}
+    for path_name, fn in (("uncompiled", uncompiled), ("compiled", compiled)):
+        fn()
+        tracemalloc.start()
+        base = tracemalloc.get_traced_memory()[0]
+        start = time.perf_counter()
+        for _ in range(iters):
+            probs = fn()
+        elapsed = time.perf_counter() - start
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        results[path_name] = {
+            "path": path_name,
+            "tiles_per_s": round(iters / elapsed, 2),
+            "time_s": round(elapsed, 3),
+            "peak_alloc_bytes": int(peak - base),
+            "output_nbytes": int(probs.nbytes),
+        }
+
+    speedup = results["compiled"]["tiles_per_s"] / results["uncompiled"]["tiles_per_s"]
+    # Steady-state allocations above the returned probability tensors
+    # themselves (two generations are alive at the tracemalloc peak).
+    overhead = results["compiled"]["peak_alloc_bytes"] - 2 * results["compiled"]["output_nbytes"]
+    rows = list(results.values())
+    for row in rows:
+        row["speedup"] = round(row["tiles_per_s"] / results["uncompiled"]["tiles_per_s"], 2)
+    print_rows(
+        f"Fixed-shape serving forward ({iters} calls of 1x{serve_tile}x{serve_tile}, "
+        f"arena {engine.cache_info()['arena_bytes']} B)", rows)
+    update_bench_json("inference_throughput", "compiled", {
+        "config": {"serve_tile": serve_tile, "iters": iters, "smoke": BENCH_SMOKE},
+        "rows": rows,
+        "alloc_overhead_bytes": int(overhead),
+        "plan_cache": engine.cache_info(),
+    })
+
+    # The compiled arm must allocate (far) less than the generic walk; the
+    # throughput gate runs only at full scale (smoke runners are too noisy).
+    assert results["compiled"]["peak_alloc_bytes"] < results["uncompiled"]["peak_alloc_bytes"]
+    assert overhead < 256 * 1024, f"compiled path allocates {overhead} B/call beyond its output"
+    if not BENCH_SMOKE:
+        assert speedup >= 1.3, f"compiled plan reached only {speedup:.2f}x over the generic forward"
 
 
 class _PixelwiseModel:

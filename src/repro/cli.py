@@ -13,7 +13,9 @@ Sub-commands (``repro-seaice <command> --help`` for options):
   report throughput plus accuracy against the synthetic ground truth.
 * ``serve``      — start the long-lived model-serving subsystem: a model
   registry of ``.npz`` checkpoints behind JSON endpoints (``/healthz``,
-  ``/models``, ``/predict``) with micro-batched inference.
+  ``/models``, ``/predict``) with micro-batched, plan-compiled inference.
+* ``bench``      — run any ``benchmarks/`` module locally (optionally at CI
+  smoke scale) and print its machine-readable ``BENCH_*.json`` result.
 """
 
 from __future__ import annotations
@@ -170,9 +172,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.demo:
         registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
         _publish_demo_model(registry_dir, args)
-        registry = ModelRegistry(registry_dir, inference=inference)
+        registry = ModelRegistry(registry_dir, inference=inference, max_warm=args.max_warm)
     elif args.registry:
-        registry = ModelRegistry(args.registry, inference=inference)
+        registry = ModelRegistry(args.registry, inference=inference, max_warm=args.max_warm)
     else:
         print("error: pass --registry DIR (or --demo to train and serve a toy model)", file=sys.stderr)
         return 2
@@ -204,6 +206,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         }), flush=True)
 
     run_service(service, quiet=args.quiet, on_ready=announce)
+    return 0
+
+
+def _bench_dir() -> str | None:
+    """Locate the ``benchmarks/`` directory (cwd first, then the repo checkout)."""
+    import os
+
+    candidates = [
+        os.path.join(os.getcwd(), "benchmarks"),
+        os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")),
+    ]
+    for candidate in candidates:
+        if os.path.isdir(candidate):
+            return candidate
+    return None
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run one repo benchmark through pytest and print its BENCH_*.json."""
+    import os
+
+    bench_dir = _bench_dir()
+    if bench_dir is None:
+        print("error: no benchmarks/ directory found (run from the repo checkout)", file=sys.stderr)
+        return 2
+    available = sorted(
+        entry[len("test_"):-len(".py")]
+        for entry in os.listdir(bench_dir)
+        if entry.startswith("test_") and entry.endswith(".py")
+    )
+    if args.list or args.name is None:
+        print(json.dumps({"benchmarks": available}, indent=2))
+        return 0
+    name = args.name.removeprefix("test_").removesuffix(".py")
+    if name not in available:
+        print(f"error: unknown benchmark {name!r}; available: {available}", file=sys.stderr)
+        return 2
+
+    try:
+        import pytest
+    except ImportError:  # pragma: no cover - pytest ships with the dev env
+        print("error: the bench command needs pytest installed", file=sys.stderr)
+        return 2
+
+    json_dir = os.path.abspath(args.json_dir)
+    os.environ["BENCH_JSON_DIR"] = json_dir
+    if args.smoke:
+        os.environ["BENCH_SMOKE"] = "1"
+    before = set()
+    if os.path.isdir(json_dir):
+        before = {entry for entry in os.listdir(json_dir) if entry.startswith("BENCH_")}
+    rc = pytest.main([os.path.join(bench_dir, f"test_{name}.py"), "-q", "-s",
+                      "-p", "no:cacheprovider"])
+    if rc != 0:
+        return int(rc)
+    written = sorted(
+        entry for entry in os.listdir(json_dir)
+        if entry.startswith("BENCH_") and (entry not in before
+                                           or name in entry)
+    )
+    for entry in written:
+        with open(os.path.join(json_dir, entry)) as fh:
+            print(f"== {entry} ==")
+            print(fh.read().rstrip())
     return 0
 
 
@@ -291,6 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080, help="0 binds an ephemeral port")
     p.add_argument("--max-batch", type=int, default=16, help="micro-batch flush size")
+    p.add_argument("--max-warm", type=int, default=None,
+                   help="LRU cap on warm models kept resident (default: unbounded)")
     p.add_argument("--batch-window-ms", type=float, default=5.0,
                    help="micro-batch flush deadline in milliseconds")
     p.add_argument("--inference-config", default=None,
@@ -302,6 +370,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("bench", help="run one benchmarks/ module and print its BENCH_*.json")
+    p.add_argument("name", nargs="?", default=None,
+                   help="benchmark name, e.g. inference_throughput (omit or --list to list)")
+    p.add_argument("--list", action="store_true", help="list available benchmarks")
+    p.add_argument("--smoke", action="store_true", help="run at CI smoke scale (BENCH_SMOKE=1)")
+    p.add_argument("--json-dir", default=".", help="directory for the BENCH_*.json outputs")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

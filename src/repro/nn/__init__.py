@@ -23,6 +23,7 @@ from .layers import BatchNorm2D, Concat, Dropout, MaxPool2D, ReLU, UpConv2D, UpS
 from .losses import CategoricalCrossEntropy, softmax
 from .module import Module, Parameter, Sequential
 from .optimizers import SGD, Adam, Optimizer
+from .plan import CompiledPlan, PlanBuilder, PlanCache
 from .serialization import (
     CheckpointError,
     load_checkpoint,
@@ -65,6 +66,9 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "CompiledPlan",
+    "PlanBuilder",
+    "PlanCache",
     "CheckpointError",
     "load_checkpoint",
     "load_model_state",

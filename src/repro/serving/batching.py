@@ -97,9 +97,18 @@ class MicroBatcher:
     max_delay_s:
         Flush at this age of the oldest waiting request even if the batch is
         not full (the tail-latency bound a lone caller pays).
+    bucket_batches:
+        Pad every flushed shape group up to the next power of two (capped at
+        ``max_batch``) by repeating its last tile, and crop the padded
+        predictions away afterwards.  This pins the set of batch shapes the
+        predictor ever sees to ``{1, 2, 4, …, max_batch}`` per tile shape, so
+        a compiled-plan engine behind ``predict_fn`` stays inside a handful
+        of warm plans instead of recompiling (or thrashing its LRU cache)
+        for every distinct queue depth.
     """
 
-    def __init__(self, predict_fn: PredictFn, max_batch: int = 8, max_delay_s: float = 0.005) -> None:
+    def __init__(self, predict_fn: PredictFn, max_batch: int = 8, max_delay_s: float = 0.005,
+                 bucket_batches: bool = False) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay_s < 0:
@@ -107,6 +116,7 @@ class MicroBatcher:
         self._predict_fn = predict_fn
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
+        self.bucket_batches = bool(bucket_batches)
         self._queue: queue.Queue[PendingPrediction | None] = queue.Queue()
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
@@ -209,11 +219,16 @@ class MicroBatcher:
             groups.setdefault(pending.tile.shape, []).append(pending)
         for group in groups.values():
             try:
-                stack = np.stack([p.tile for p in group])
+                tiles = [p.tile for p in group]
+                target = len(tiles)
+                if self.bucket_batches:
+                    target = min(1 << (len(tiles) - 1).bit_length(), self.max_batch)
+                    tiles = tiles + [tiles[-1]] * (target - len(tiles))
+                stack = np.stack(tiles)
                 probs = self._predict_fn(stack)
-                if probs.shape[0] != len(group):
+                if probs.shape[0] != target:
                     raise RuntimeError(
-                        f"predict_fn returned {probs.shape[0]} maps for {len(group)} tiles"
+                        f"predict_fn returned {probs.shape[0]} maps for {target} tiles"
                     )
             except BaseException as exc:  # noqa: BLE001 - delivered to the caller
                 for pending in group:

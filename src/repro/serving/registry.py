@@ -86,16 +86,27 @@ class ModelRegistry:
     model (the service's ``--inference-config`` flag); when it is ``None``
     each archive's embedded ``inference`` metadata is used, falling back to
     :class:`InferenceConfig` defaults.
+
+    ``max_warm`` bounds how many warm classifiers (each holding model
+    weights plus compiled inference plans) stay resident: the least recently
+    served entry is retired once the cap is exceeded.  Retirement — whether
+    by the LRU cap or by a version hot-swap — notifies every listener added
+    with :meth:`add_evict_listener`, so the serving layer can close the
+    retired model's micro-batcher and drop its plans.
     """
 
     root: str | None = None
     inference: InferenceConfig | None = None
+    max_warm: int | None = None
     _records: dict[str, dict[int, ModelRecord]] = field(default_factory=dict, repr=False)
     _explicit: dict[str, dict[int, ModelRecord]] = field(default_factory=dict, repr=False)
     _warm: dict[tuple[str, int], _WarmEntry] = field(default_factory=dict, repr=False)
+    _evict_listeners: list = field(default_factory=list, repr=False)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __post_init__(self) -> None:
+        if self.max_warm is not None and self.max_warm < 1:
+            raise ValueError("max_warm must be >= 1 (or None for unbounded)")
         if self.root is not None:
             self.root = str(self.root)
             self.scan()
@@ -226,15 +237,29 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     # Warm classifiers
     # ------------------------------------------------------------------ #
+    def add_evict_listener(self, listener) -> None:
+        """Register ``listener((name, version))`` called after a warm entry retires."""
+        with self._lock:
+            self._evict_listeners.append(listener)
+
+    def remove_evict_listener(self, listener) -> None:
+        """Forget a listener added with :meth:`add_evict_listener` (no-op if absent)."""
+        with self._lock:
+            if listener in self._evict_listeners:
+                self._evict_listeners.remove(listener)
+
     def classifier(self, name: str, version: int | None = None) -> SceneClassifier:
         """A warm :class:`SceneClassifier` for ``name``/``version``.
 
         The first call for a version loads the archive (model weights +
-        embedded configs); later calls return the same warm instance.  An
-        unversioned lookup tracks the latest registered version, so bumping
-        the version in the registry directory hot-swaps what gets served.
-        Serving a version retires warm instances of older versions of the
-        same model (a pinned older version is reloaded on demand).
+        embedded configs) and pre-compiles the inference plan for the
+        configured serving tile shape; later calls return the same warm
+        instance.  An unversioned lookup tracks the latest registered
+        version, so bumping the version in the registry directory hot-swaps
+        what gets served.  Serving a version retires warm instances of older
+        versions of the same model (a pinned older version is reloaded on
+        demand), and ``max_warm`` retires the least recently served entries
+        beyond the cap.
         """
         record = self.record(name, version)
         key = (record.name, record.version)
@@ -246,9 +271,26 @@ class ModelRegistry:
             loaded = self._load(record)
             with self._lock:
                 entry = self._warm.setdefault(key, _WarmEntry(record=record, classifier=loaded))
+        evicted: list[tuple[str, int]] = []
         with self._lock:
+            # LRU bookkeeping: re-insert the served key at the back.
+            if key in self._warm:
+                self._warm[key] = self._warm.pop(key)
             for other in [k for k in self._warm if k[0] == record.name and k[1] < record.version]:
                 del self._warm[other]
+                evicted.append(other)
+            if self.max_warm is not None:
+                while len(self._warm) > self.max_warm:
+                    old_key = next(iter(self._warm))
+                    if old_key == key:  # never evict the entry being served
+                        self._warm[key] = self._warm.pop(key)
+                        continue
+                    del self._warm[old_key]
+                    evicted.append(old_key)
+            listeners = list(self._evict_listeners)
+        for evicted_key in evicted:
+            for listener in listeners:
+                listener(evicted_key)
         return entry.classifier
 
     def loaded_versions(self, name: str | None = None) -> list[tuple[str, int]]:
@@ -256,6 +298,11 @@ class ModelRegistry:
         with self._lock:
             keys = sorted(self._warm)
         return [k for k in keys if name is None or k[0] == name]
+
+    def warm_count(self) -> int:
+        """Number of classifiers currently held warm."""
+        with self._lock:
+            return len(self._warm)
 
     def _load(self, record: ModelRecord) -> SceneClassifier:
         metadata = record.metadata()
@@ -273,4 +320,9 @@ class ModelRegistry:
             inference = InferenceConfig.from_dict(metadata["inference"])
         else:
             inference = InferenceConfig()
-        return SceneClassifier(model=model, config=inference)
+        classifier = SceneClassifier(model=model, config=inference)
+        # Warm-up: compile the single-tile serving plan now so the first
+        # request does not pay plan compilation (a no-op when compile_plans
+        # is off).  Serving traffic at other batch shapes compiles lazily.
+        classifier.warm_plans(batch_sizes=(1,))
+        return classifier

@@ -30,7 +30,6 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
-from ..unet.inference import predict_batch_probabilities
 from .batching import MicroBatcher
 from .registry import ModelRegistry
 
@@ -39,13 +38,19 @@ __all__ = ["ServiceConfig", "InferenceService", "make_server", "run_service"]
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables of the HTTP front-end and its micro-batchers."""
+    """Tunables of the HTTP front-end and its micro-batchers.
+
+    ``bucket_batches`` (default on) makes every micro-batcher pad flushed
+    batches up to power-of-two sizes, pinning the compiled-plan engine to a
+    fixed set of batch shapes per tile shape.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8080
     max_batch: int = 16
     batch_window_s: float = 0.005
     request_timeout_s: float = 60.0
+    bucket_batches: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -67,6 +72,9 @@ class InferenceService:
         self._lock = threading.Lock()
         self._requests = 0
         self._tiles = 0
+        # Warm-model eviction (LRU cap or version hot-swap) retires the
+        # evicted entry's micro-batcher — and with it the pinned plans.
+        registry.add_evict_listener(self._on_warm_evicted)
 
     # ------------------------------------------------------------------ #
     def health(self) -> dict:
@@ -116,17 +124,12 @@ class InferenceService:
         # Cold path outside the lock: loading a big archive must not stall
         # requests for models that are already warm.
         classifier = self.registry.classifier(record.name, record.version)
-        cfg = classifier.config
-        filt = classifier.cloud_filter if cfg.apply_cloud_filter else None
-        model = classifier.model
-
-        def predict_fn(stack: np.ndarray, _model=model, _filt=filt) -> np.ndarray:
-            return predict_batch_probabilities(stack, _model, _filt)
 
         batcher = MicroBatcher(
-            predict_fn,
+            classifier.predict_batch,
             max_batch=self.config.max_batch,
             max_delay_s=self.config.batch_window_s,
+            bucket_batches=self.config.bucket_batches,
         )
         retired: list[MicroBatcher] = []
         with self._lock:
@@ -187,6 +190,13 @@ class InferenceService:
         payload["class_map"] = maps_out
         return payload
 
+    def _on_warm_evicted(self, key: tuple[str, int]) -> None:
+        """Registry listener: close the micro-batcher of a retired warm model."""
+        with self._lock:
+            batcher = self._batchers.pop(key, None)
+        if batcher is not None:
+            batcher.close()
+
     def batcher_stats(self) -> dict:
         with self._lock:
             return {
@@ -194,7 +204,19 @@ class InferenceService:
                 for (name, version), batcher in sorted(self._batchers.items())
             }
 
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body: batcher counters plus warm-model occupancy."""
+        return {
+            "batchers": self.batcher_stats(),
+            "warm_models": {
+                "count": self.registry.warm_count(),
+                "max_warm": self.registry.max_warm,
+                "loaded": [f"{name}/{version}" for name, version in self.registry.loaded_versions()],
+            },
+        }
+
     def close(self) -> None:
+        self.registry.remove_evict_listener(self._on_warm_evicted)
         with self._lock:
             batchers = list(self._batchers.values())
             self._batchers.clear()
@@ -228,7 +250,7 @@ def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPReques
                 elif self.path == "/models":
                     self._send_json(200, service.models_payload())
                 elif self.path == "/stats":
-                    self._send_json(200, {"batchers": service.batcher_stats()})
+                    self._send_json(200, service.stats_payload())
                 else:
                     self._send_json(404, {"error": f"unknown path {self.path!r}"})
             except Exception as exc:  # noqa: BLE001 - must answer the socket

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..cloudshadow import CloudShadowFilter
 from ..imops.resize import _pad_bottom_right, blend_window
-from ..unet import InferenceConfig, UNet
+from ..unet import CompiledUNet, InferenceConfig, UNet
 from ..unet.inference import predict_batch_probabilities
 
 __all__ = ["StreamingSceneClassifier"]
@@ -59,6 +59,14 @@ class StreamingSceneClassifier:
     cloud_filter: CloudShadowFilter = field(default_factory=CloudShadowFilter)
     #: High-water mark of live per-band buffers during the last run (bytes).
     peak_buffer_bytes: int = field(default=0, init=False)
+    _engine: CompiledUNet | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # One compiled engine for the whole stream: every band re-runs the
+        # same (batch, tile, tile) shapes, so after the first band each
+        # forward hits a warm arena-backed plan.
+        if self.config.compile_plans and isinstance(self.model, UNet):
+            self._engine = CompiledUNet(self.model, max_plans=self.config.plan_cache_size)
 
     # ------------------------------------------------------------------ #
     def iter_row_bands(self, scene) -> Iterator[tuple[int, np.ndarray]]:
@@ -97,7 +105,7 @@ class StreamingSceneClassifier:
             for q0 in range(0, cols_n, cfg.batch_size):
                 qs = range(q0, min(q0 + cfg.batch_size, cols_n))
                 stack = np.stack([band[:, q * stride : q * stride + t] for q in qs])
-                probs = predict_batch_probabilities(stack, self.model, filt)
+                probs = predict_batch_probabilities(stack, self.model, filt, engine=self._engine)
                 band_peak = max(band_peak, band.nbytes + stack.nbytes + probs.nbytes)
                 k = probs.shape[1]
                 if overlap:

@@ -1,6 +1,7 @@
 """U-Net model, trainer and inference pipeline for sea-ice classification."""
 
 from .blocks import DecoderBlock, DoubleConv, EncoderBlock
+from .compiled import CompiledUNet, compile_unet_plan
 from .inference import (
     InferenceConfig,
     SceneClassifier,
@@ -12,6 +13,8 @@ from .model import UNet, UNetConfig, build_unet, paper_unet_config, tiny_unet_co
 from .trainer import EpochStats, TrainingHistory, UNetTrainer
 
 __all__ = [
+    "CompiledUNet",
+    "compile_unet_plan",
     "DecoderBlock",
     "DoubleConv",
     "EncoderBlock",

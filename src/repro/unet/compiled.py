@@ -1,0 +1,112 @@
+"""Compile a :class:`~repro.unet.UNet` into a zero-allocation inference plan.
+
+:func:`compile_unet_plan` walks the encoder–bottleneck–decoder graph once for
+a concrete ``(N, C, H, W)`` input shape and emits a
+:class:`~repro.nn.plan.CompiledPlan` whose steps run the *exact* eval-mode
+forward (offset-GEMM convolutions, fused bias+ReLU, window max pooling,
+fused 2× upsample + edge pad) into a single preallocated workspace arena.
+
+Two structural fusions fall out of planning ahead:
+
+* **Concatenation disappears.**  Each decoder level's merged feature map is
+  one arena buffer; the matching encoder's second convolution writes its
+  skip activation directly into the upper channel slice during the
+  contracting pass, and the up-convolution GEMMs into the lower slice during
+  the expansive pass — no ``np.concatenate``, no skip copy.
+* **Padding is free.**  Padded-input buffers are dedicated and zeroed once at
+  compile time; each call only rewrites the interior.
+
+:class:`CompiledUNet` wraps a model with an LRU :class:`~repro.nn.plan.PlanCache`
+so consumers just call :meth:`CompiledUNet.predict_proba` and plans appear
+per traffic shape.  Plans snapshot weights at compile time — call
+:meth:`CompiledUNet.clear` after mutating parameters (e.g. more training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.plan import INPUT, CompiledPlan, PlanBuilder, PlanCache
+from .model import UNet
+
+__all__ = ["compile_unet_plan", "CompiledUNet"]
+
+
+def compile_unet_plan(model: UNet, input_shape: tuple[int, ...]) -> CompiledPlan:
+    """Compile ``model``'s eval forward for one concrete input shape.
+
+    The plan computes ``softmax(model.forward(x), axis=1)`` — the same maps
+    :meth:`UNet.predict_proba` produces — without per-call allocations.
+    """
+    if not isinstance(model, UNet):
+        raise TypeError(f"compile_unet_plan requires a UNet, got {type(model).__name__}")
+    cfg = model.config
+    if len(input_shape) != 4:
+        raise ValueError(f"expected a (N, C, H, W) input shape, got {input_shape}")
+    n, c, h, w = (int(d) for d in input_shape)
+    if c != cfg.in_channels:
+        raise ValueError(f"model expects {cfg.in_channels} input channels, got {c}")
+    step = cfg.min_input_size()
+    if h % step or w % step:
+        raise ValueError(f"input spatial size must be divisible by {step} for depth {cfg.depth}")
+
+    widths = cfg.encoder_channels()
+    b = PlanBuilder((n, c, h, w))
+
+    # Merged (up-convolution ‖ skip) buffers, one per encoder/decoder level.
+    # Channel layout matches Concat(upsampled, skip): [0:width) up, [width:2w) skip.
+    merged = [b.reserve((n, 2 * widths[e], h >> e, w >> e)) for e in range(cfg.depth)]
+
+    x = INPUT
+    for e, encoder in enumerate(model.encoders):
+        block = encoder.conv  # DoubleConv (dropout is identity in eval)
+        x = b.conv2d(x, block.conv1, relu=True)
+        skip = b.conv2d(x, block.conv2, relu=True, out=merged[e].slice(widths[e], 2 * widths[e]))
+        x = b.maxpool(skip, encoder.pool.pool_size)
+
+    x = b.conv2d(x, model.bottleneck.conv1, relu=True)
+    x = b.conv2d(x, model.bottleneck.conv2, relu=True)
+
+    for j, decoder in enumerate(model.decoders):
+        e = cfg.depth - 1 - j
+        up = b.upsample_pad(x)
+        b.conv2d(up, decoder.upconv.conv, relu=False, out=merged[e].slice(0, widths[e]))
+        x = b.conv2d(merged[e], decoder.conv.conv1, relu=True)
+        x = b.conv2d(x, decoder.conv.conv2, relu=True)
+
+    logits = b.conv2d(x, model.head, relu=False)
+    b.softmax_output(logits)
+    return b.finalize()
+
+
+class CompiledUNet:
+    """A model plus its per-shape LRU plan cache — the serving hot path.
+
+    Drop-in for the ``predict_proba`` seam: the first call at a new input
+    shape compiles a plan (one arena allocation), later calls at that shape
+    run allocation-free.  Thread-safe; concurrent runs of the same shape are
+    serialised by the plan's lock, distinct shapes run in parallel.
+    """
+
+    def __init__(self, model: UNet, max_plans: int = 8):
+        if not isinstance(model, UNet):
+            raise TypeError(f"CompiledUNet requires a UNet, got {type(model).__name__}")
+        self.model = model
+        self.max_plans = int(max_plans)
+        self._cache = PlanCache(lambda shape: compile_unet_plan(model, shape), max_plans=max_plans)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities ``(N, K, H, W)`` through the compiled plan."""
+        x = np.asarray(x, dtype=np.float32)
+        return self._cache.get(x.shape).run(x)
+
+    def warm(self, input_shape: tuple[int, ...]) -> CompiledPlan:
+        """Pre-compile (and cache) the plan for ``input_shape``."""
+        return self._cache.get(input_shape)
+
+    def clear(self) -> None:
+        """Drop every cached plan (required after the model's weights change)."""
+        self._cache.clear()
+
+    def cache_info(self) -> dict:
+        return self._cache.info()

@@ -22,6 +22,7 @@ from ..cloudshadow import CloudShadowFilter
 from ..data.loader import image_to_tensor
 from ..imops.resize import assemble_from_tiles, split_into_tiles
 from ..parallel.pool import parallel_map
+from .compiled import CompiledUNet
 from .model import UNet
 
 __all__ = [
@@ -41,7 +42,11 @@ class InferenceConfig:
     probability maps are blend-averaged at reassembly.  ``num_workers > 1``
     fans prediction batches out across a process pool (fork start method, so
     the model is shared copy-on-write; on platforms without fork the engine
-    falls back to in-process batching).
+    falls back to in-process batching).  ``compile_plans`` (on by default —
+    inference always runs the model in eval mode) routes forward passes
+    through per-shape compiled plans executing into a preallocated workspace
+    arena (:mod:`repro.nn.plan`); ``plan_cache_size`` bounds how many input
+    shapes stay compiled (LRU).
     """
 
     tile_size: int = 256
@@ -49,6 +54,8 @@ class InferenceConfig:
     apply_cloud_filter: bool = True
     batch_size: int = 8
     num_workers: int = 1
+    compile_plans: bool = True
+    plan_cache_size: int = 8
 
     def __post_init__(self) -> None:
         if self.tile_size < 1:
@@ -59,6 +66,8 @@ class InferenceConfig:
             raise ValueError("batch_size must be >= 1")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
 
     def to_dict(self) -> dict:
         """JSON-safe dict of every option (inverse of :meth:`from_dict`)."""
@@ -77,7 +86,7 @@ class InferenceConfig:
             )
         kwargs = {}
         for key, value in data.items():
-            kwargs[key] = bool(value) if key == "apply_cloud_filter" else int(value)
+            kwargs[key] = bool(value) if key in ("apply_cloud_filter", "compile_plans") else int(value)
         return cls(**kwargs)
 
 
@@ -128,12 +137,14 @@ def _pad_stack_to_multiple(stack: np.ndarray, multiple: int) -> np.ndarray:
 # the model explicitly).
 _WORKER_MODEL = None
 _WORKER_FILTER: CloudShadowFilter | None = None
+_WORKER_ENGINE: CompiledUNet | None = None
 
 
 def predict_batch_probabilities(
     batch: np.ndarray,
     model: UNet | None = None,
     cloud_filter: CloudShadowFilter | None = None,
+    engine: CompiledUNet | None = None,
 ) -> np.ndarray:
     """Probability maps ``(N, K, H, W)`` for one ``(N, H, W, 3)`` tile batch.
 
@@ -144,17 +155,30 @@ def predict_batch_probabilities(
     multiple of ``config.min_input_size()``) are reflect-padded bottom/right
     before the forward pass and the probability maps cropped back, so small
     scenes and 1-pixel remainder bands classify cleanly.
+
+    With ``engine`` (a :class:`~repro.unet.compiled.CompiledUNet` wrapping
+    the same model) the forward pass runs through the per-shape compiled
+    plan instead of the generic layer walk — identical maps, no per-call
+    workspace allocations.
     """
-    if model is None:
+    if model is None and engine is None:
         model = _WORKER_MODEL
         cloud_filter = _WORKER_FILTER
+        engine = _WORKER_ENGINE
+    if engine is not None and model is None:
+        model = engine.model
     if model is None:
         raise RuntimeError("inference worker state not initialised")
     if cloud_filter is not None:
         batch = cloud_filter.apply_batch(batch)
     h, w = batch.shape[1:3]
     padded = _pad_stack_to_multiple(batch, _model_input_multiple(model))
-    probs = model.predict_proba(image_to_tensor(padded)).astype(np.float32, copy=False)
+    tensor = image_to_tensor(padded)
+    if engine is not None:
+        probs = engine.predict_proba(tensor)
+    else:
+        probs = model.predict_proba(tensor)
+    probs = probs.astype(np.float32, copy=False)
     return probs[:, :, :h, :w]
 
 
@@ -168,12 +192,15 @@ def predict_tile_probabilities(
     batch_size: int = 8,
     cloud_filter: CloudShadowFilter | None = None,
     num_workers: int = 1,
+    engine: CompiledUNet | None = None,
 ) -> np.ndarray:
     """Per-class probability maps ``(N, K, H, W)`` for an ``(N, H, W, 3)`` stack.
 
     Tiles are predicted in batches of ``batch_size``; with ``num_workers > 1``
-    the batches are mapped over a fork-based process pool.  An empty stack
-    returns a correctly-shaped empty array instead of raising.
+    the batches are mapped over a fork-based process pool (forked workers
+    inherit ``engine``'s compiled plans copy-on-write — each child runs into
+    its own arena pages).  An empty stack returns a correctly-shaped empty
+    array instead of raising.
     """
     stack = _validate_stack(tiles)
     if batch_size < 1:
@@ -187,8 +214,14 @@ def predict_tile_probabilities(
     batches = [stack[start : start + batch_size] for start in range(0, n, batch_size)]
     use_pool = num_workers > 1 and len(batches) > 1 and "fork" in mp.get_all_start_methods()
     if use_pool:
-        global _WORKER_MODEL, _WORKER_FILTER
-        _WORKER_MODEL, _WORKER_FILTER = model, cloud_filter
+        global _WORKER_MODEL, _WORKER_FILTER, _WORKER_ENGINE
+        # Fork a *fresh* engine, never the caller's: another thread could be
+        # mid-run holding one of its plan locks at fork time, and an
+        # inherited-held lock would deadlock every child.  A fresh engine has
+        # no compiled plans (children compile lazily, once each) and no lock
+        # anyone can be holding.
+        worker_engine = None if engine is None else CompiledUNet(model, max_plans=engine.max_plans)
+        _WORKER_MODEL, _WORKER_FILTER, _WORKER_ENGINE = model, cloud_filter, worker_engine
         try:
             result = parallel_map(
                 predict_batch_probabilities,
@@ -199,9 +232,9 @@ def predict_tile_probabilities(
             )
             outputs = result.results
         finally:
-            _WORKER_MODEL, _WORKER_FILTER = None, None
+            _WORKER_MODEL, _WORKER_FILTER, _WORKER_ENGINE = None, None, None
     else:
-        outputs = [predict_batch_probabilities(batch, model, cloud_filter) for batch in batches]
+        outputs = [predict_batch_probabilities(batch, model, cloud_filter, engine) for batch in batches]
     return np.concatenate(outputs, axis=0)
 
 
@@ -233,12 +266,52 @@ def predict_tiles(
 
 @dataclass
 class SceneClassifier:
-    """Whole-scene inference engine (tile → filter → batched predict → blend-stitch)."""
+    """Whole-scene inference engine (tile → filter → batched predict → blend-stitch).
+
+    With ``config.compile_plans`` (the default) the classifier owns a
+    :class:`~repro.unet.compiled.CompiledUNet`: every distinct batch shape it
+    predicts is compiled once into an arena-backed plan and re-run
+    allocation-free afterwards.  Plans snapshot weights — call
+    :meth:`invalidate_plans` if the wrapped model is trained further.
+    """
 
     model: UNet
     config: InferenceConfig = field(default_factory=InferenceConfig)
     cloud_filter: CloudShadowFilter = field(default_factory=CloudShadowFilter)
+    _engine: CompiledUNet | None = field(default=None, init=False, repr=False, compare=False)
 
+    def __post_init__(self) -> None:
+        if self.config.compile_plans and isinstance(self.model, UNet):
+            self._engine = CompiledUNet(self.model, max_plans=self.config.plan_cache_size)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> CompiledUNet | None:
+        """The compiled-plan engine (``None`` when ``compile_plans`` is off)."""
+        return self._engine
+
+    def warm_plans(self, batch_sizes: tuple[int, ...] = (1,)) -> None:
+        """Pre-compile plans for the configured tile shape at ``batch_sizes``.
+
+        Uses the shape the prediction seam would actually run: the tile size
+        rounded up to the model's input multiple.
+        """
+        if self._engine is None:
+            return
+        multiple = _model_input_multiple(self.model)
+        t = -(-self.config.tile_size // multiple) * multiple
+        for n in batch_sizes:
+            self._engine.warm((int(n), self.model.config.in_channels, t, t))
+
+    def invalidate_plans(self) -> None:
+        """Drop compiled plans (call after mutating the model's weights)."""
+        if self._engine is not None:
+            self._engine.clear()
+
+    def plan_cache_info(self) -> dict | None:
+        return None if self._engine is None else self._engine.cache_info()
+
+    # ------------------------------------------------------------------ #
     def classify_scene_proba(self, scene_rgb: np.ndarray) -> np.ndarray:
         """Per-pixel class probabilities ``(H, W, K)`` of a full ``(H, W, 3)`` scene.
 
@@ -253,7 +326,8 @@ class SceneClassifier:
         tiles, grid = split_into_tiles(scene, tile_size=cfg.tile_size, overlap=cfg.overlap)
         filt = self.cloud_filter if cfg.apply_cloud_filter else None
         probs = predict_tile_probabilities(
-            self.model, tiles, batch_size=cfg.batch_size, cloud_filter=filt, num_workers=cfg.num_workers
+            self.model, tiles, batch_size=cfg.batch_size, cloud_filter=filt,
+            num_workers=cfg.num_workers, engine=self._engine,
         )
         prob_tiles = np.moveaxis(probs, 1, -1)  # (N, h, w, K)
         return np.asarray(assemble_from_tiles(prob_tiles, grid))
@@ -267,6 +341,14 @@ class SceneClassifier:
         cfg = self.config
         filt = self.cloud_filter if cfg.apply_cloud_filter else None
         probs = predict_tile_probabilities(
-            self.model, tiles, batch_size=cfg.batch_size, cloud_filter=filt, num_workers=cfg.num_workers
+            self.model, tiles, batch_size=cfg.batch_size, cloud_filter=filt,
+            num_workers=cfg.num_workers, engine=self._engine,
         )
         return probs.argmax(axis=1).astype(np.uint8)
+
+    def predict_batch(self, batch: np.ndarray) -> np.ndarray:
+        """One batched prediction ``(N, H, W, 3) → (N, K, H, W)`` through the
+        classifier's filter and compiled-plan engine — the seam the serving
+        micro-batcher binds to."""
+        filt = self.cloud_filter if self.config.apply_cloud_filter else None
+        return predict_batch_probabilities(batch, self.model, filt, engine=self._engine)

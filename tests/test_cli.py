@@ -88,3 +88,29 @@ class TestCommands:
         config_path.write_text(json_mod.dumps({"tile_size": 32, "bogus": 1}))
         with pytest.raises(ValueError, match="unknown InferenceConfig keys"):
             main(["serve", "--registry", str(tmp_path), "--inference-config", str(config_path)])
+
+
+class TestBenchCommand:
+    def test_parser_accepts_bench(self):
+        args = build_parser().parse_args(["bench", "inference_throughput", "--smoke"])
+        assert args.name == "inference_throughput" and args.smoke
+
+    def test_list_prints_available_benchmarks(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert "inference_throughput" in payload["benchmarks"]
+        assert "serving_throughput" in payload["benchmarks"]
+
+    def test_no_name_lists(self, capsys):
+        assert main(["bench"]) == 0
+        assert "benchmarks" in capsys.readouterr().out
+
+    def test_unknown_benchmark_errors(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_serve_max_warm_flag(self):
+        args = build_parser().parse_args(["serve", "--demo", "--max-warm", "2"])
+        assert args.max_warm == 2

@@ -211,3 +211,39 @@ class TestEvalModeMemory:
         train_logits = model.train().forward(x)
         eval_logits = model.eval().forward(x)
         np.testing.assert_allclose(eval_logits, train_logits, atol=1e-4)
+
+
+class TestPaddingAvoidsCopies:
+    """Tile padding must be a no-op (same object, no reflect recompute) when
+    the stack already matches the model's input multiple."""
+
+    def test_pad_stack_already_multiple_returns_same_object(self, rng):
+        from repro.unet.inference import _pad_stack_to_multiple
+
+        stack = rng.integers(0, 255, size=(3, 32, 32, 3), dtype=np.uint8)
+        assert _pad_stack_to_multiple(stack, 4) is stack
+        assert _pad_stack_to_multiple(stack, 1) is stack
+
+    def test_pad_stack_only_copies_when_needed(self, rng):
+        from repro.unet.inference import _pad_stack_to_multiple
+
+        stack = rng.integers(0, 255, size=(2, 30, 32, 3), dtype=np.uint8)
+        padded = _pad_stack_to_multiple(stack, 8)
+        assert padded is not stack and padded.shape == (2, 32, 32, 3)
+        # Reflect padding: row 30 mirrors row 28, row 31 mirrors row 27.
+        np.testing.assert_array_equal(padded[:, 30], stack[:, 28])
+        np.testing.assert_array_equal(padded[:, 31], stack[:, 27])
+
+    def test_pad_to_multiple_already_multiple_is_identity(self, rng):
+        from repro.imops.resize import _pad_bottom_right, pad_to_multiple
+
+        image = rng.integers(0, 255, size=(64, 96, 3), dtype=np.uint8)
+        assert pad_to_multiple(image, 32) is image
+        assert _pad_bottom_right(image, 0, 0, "reflect") is image
+
+    def test_seam_output_equals_unpadded_forward(self, engine_model, rng):
+        from repro.unet.inference import predict_batch_probabilities
+
+        batch = rng.integers(0, 255, size=(2, 16, 16, 3), dtype=np.uint8)
+        probs = predict_batch_probabilities(batch, engine_model, None)
+        assert probs.shape[2:] == (16, 16)

@@ -1,0 +1,107 @@
+"""Tests for the compiled-plan machinery: arena slots, plan cache behaviour."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn.plan import PlanCache, Slot
+
+
+class _FakePlan:
+    """Stands in for a CompiledPlan: the cache only needs arena_nbytes."""
+
+    def __init__(self, shape):
+        self.input_shape = shape
+        self.arena_nbytes = 128
+
+    def run(self, x):
+        return x
+
+
+class TestSlot:
+    def test_resolve_and_channel_slice(self):
+        arena = np.arange(2 * 4 * 3 * 3, dtype=np.float32)
+        slot = Slot(0, (2, 4, 3, 3))
+        full = slot.resolve(arena)
+        assert full.shape == (2, 4, 3, 3) and full.base is arena
+
+        sliced = slot.slice(1, 3)
+        view = sliced.resolve(arena)
+        assert view.shape == (2, 2, 3, 3)
+        np.testing.assert_array_equal(view, full[:, 1:3])
+        assert sliced.view_shape == (2, 2, 3, 3)
+
+    def test_slice_validation(self):
+        slot = Slot(0, (1, 4, 2, 2))
+        with pytest.raises(ValueError, match="channel slice"):
+            slot.slice(2, 5)
+        with pytest.raises(ValueError, match="already-sliced"):
+            slot.slice(0, 2).slice(0, 1)
+
+
+class TestPlanCache:
+    def test_miss_compiles_then_hits(self):
+        compiled: list[tuple] = []
+
+        def compile_fn(shape):
+            compiled.append(shape)
+            return _FakePlan(shape)
+
+        cache = PlanCache(compile_fn, max_plans=4)
+        a = cache.get((1, 3, 8, 8))
+        b = cache.get((1, 3, 8, 8))
+        assert a is b and compiled == [(1, 3, 8, 8)]
+        info = cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["plans"] == 1
+        assert info["arena_bytes"] == 128
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(_FakePlan, max_plans=2)
+        s1, s2, s3 = (1, 3, 8, 8), (2, 3, 8, 8), (4, 3, 8, 8)
+        cache.get(s1)
+        cache.get(s2)
+        cache.get(s1)  # s1 is now most recent: s2 must be the eviction victim
+        cache.get(s3)
+        assert cache.shapes() == [s1, s3]
+        assert cache.info()["evictions"] == 1
+        # Re-requesting the evicted shape recompiles (a miss, not a hit).
+        before = cache.info()["misses"]
+        cache.get(s2)
+        assert cache.info()["misses"] == before + 1
+
+    def test_clear_drops_plans(self):
+        cache = PlanCache(_FakePlan, max_plans=4)
+        cache.get((1, 3, 8, 8))
+        cache.clear()
+        assert len(cache) == 0
+        cache.get((1, 3, 8, 8))
+        assert cache.info()["misses"] == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="max_plans"):
+            PlanCache(_FakePlan, max_plans=0)
+
+    def test_concurrent_gets_build_one_plan_per_shape(self):
+        compiled: list[tuple] = []
+        lock = threading.Lock()
+
+        def compile_fn(shape):
+            with lock:
+                compiled.append(shape)
+            return _FakePlan(shape)
+
+        cache = PlanCache(compile_fn, max_plans=8)
+        shapes = [(n, 3, 8, 8) for n in (1, 2, 4)] * 8
+        results: dict[tuple, list] = {shape: [] for shape in shapes}
+        threads = [threading.Thread(target=lambda s=s: results[s].append(cache.get(s))) for s in shapes]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # One compile per distinct shape, and every caller got the same object.
+        assert sorted(compiled) == sorted(set(shapes))
+        for shape, plans in results.items():
+            assert all(p is plans[0] for p in plans)

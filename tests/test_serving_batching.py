@@ -155,3 +155,33 @@ class TestMicroBatcher:
                 t.join()
         assert len(results) == 16
         assert sum(calls) == 16
+
+
+class TestBucketBatching:
+    def test_flushes_pad_to_power_of_two(self, tiles):
+        calls: list[int] = []
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=8, max_delay_s=0.2,
+                          bucket_batches=True) as batcher:
+            pending = [batcher.submit(tiles[i]) for i in range(3)]
+            maps = [p.result(5.0) for p in pending]
+        # 3 queued tiles pad up to one batch of 4; callers see only their own map.
+        assert calls == [4]
+        for tile, probs in zip(tiles, maps):
+            expected = _counting_predict_fn([])(tile[None])[0]
+            np.testing.assert_allclose(probs, expected)
+
+    def test_padding_never_exceeds_max_batch(self, tiles):
+        calls: list[int] = []
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=6, max_delay_s=0.2,
+                          bucket_batches=True) as batcher:
+            pending = [batcher.submit(tiles[i]) for i in range(6)]
+            for p in pending:
+                p.result(5.0)
+        assert calls and all(size <= 6 for size in calls)
+
+    def test_single_request_stays_single(self, tiles):
+        calls: list[int] = []
+        with MicroBatcher(_counting_predict_fn(calls), max_batch=8, max_delay_s=0.001,
+                          bucket_batches=True) as batcher:
+            batcher.predict(tiles[0], timeout=5.0)
+        assert calls == [1]

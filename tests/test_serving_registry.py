@@ -200,3 +200,58 @@ class TestSerializationMetadata:
     def test_missing_archive_is_informative(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="not found"):
             read_metadata(str(tmp_path / "ghost.npz"))
+
+
+class TestWarmEvictionPolicy:
+    def _publish_many(self, tmp_path, count: int) -> ModelRegistry:
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        for i in range(count):
+            model = UNet(UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=i))
+            registry.publish(f"model-{i}", 1, model,
+                             inference=InferenceConfig(tile_size=8, apply_cloud_filter=False))
+        return registry
+
+    def test_max_warm_caps_resident_models_lru(self, tmp_path):
+        registry = self._publish_many(tmp_path, 4)
+        registry.max_warm = 2
+        registry.classifier("model-0")
+        registry.classifier("model-1")
+        assert registry.warm_count() == 2
+        registry.classifier("model-0")  # refresh model-0: model-1 is now LRU
+        registry.classifier("model-2")
+        assert registry.warm_count() == 2
+        assert registry.loaded_versions() == [("model-0", 1), ("model-2", 1)]
+        # The evicted model reloads transparently on demand.
+        assert registry.classifier("model-1") is not None
+        assert registry.warm_count() == 2
+
+    def test_eviction_notifies_listeners(self, tmp_path):
+        registry = self._publish_many(tmp_path, 3)
+        registry.max_warm = 1
+        retired: list[tuple[str, int]] = []
+        registry.add_evict_listener(retired.append)
+        registry.classifier("model-0")
+        registry.classifier("model-1")
+        registry.classifier("model-2")
+        assert retired == [("model-0", 1), ("model-1", 1)]
+        assert registry.loaded_versions() == [("model-2", 1)]
+
+    def test_version_hot_swap_also_notifies(self, tmp_path, small_model):
+        registry = _publish(tmp_path, small_model)
+        retired: list[tuple[str, int]] = []
+        registry.add_evict_listener(retired.append)
+        registry.classifier("seaice")
+        registry.publish("seaice", 2, small_model)
+        registry.classifier("seaice")
+        assert retired == [("seaice", 1)]
+
+    def test_rejects_bad_max_warm(self, tmp_path):
+        with pytest.raises(ValueError, match="max_warm"):
+            ModelRegistry(str(tmp_path / "registry"), max_warm=0)
+
+    def test_warm_load_precompiles_serving_plan(self, tmp_path, small_model):
+        registry = _publish(tmp_path, small_model,
+                            inference=InferenceConfig(tile_size=16, apply_cloud_filter=False))
+        classifier = registry.classifier("seaice")
+        info = classifier.plan_cache_info()
+        assert info is not None and info["plans"] == 1  # (1, C, 16, 16) pre-compiled

@@ -205,3 +205,40 @@ class TestServiceConfig:
     def test_rejects_bad_options(self, kwargs):
         with pytest.raises(ValueError):
             ServiceConfig(**kwargs)
+
+
+class TestWarmModelStats:
+    def test_stats_reports_warm_occupancy_and_eviction(self, tmp_path, rng):
+        registry = ModelRegistry(str(tmp_path / "reg"), max_warm=1)
+        inference = InferenceConfig(tile_size=16, apply_cloud_filter=False)
+        for name in ("a", "b"):
+            model = UNet(UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=ord(name)))
+            registry.publish(name, 1, model, inference=inference)
+        service = InferenceService(registry, ServiceConfig(port=0, batch_window_s=0.0))
+        try:
+            tile = rng.integers(0, 255, size=(16, 16, 3), dtype=np.uint8).tolist()
+            assert service.predict_payload({"tile": tile, "model": "a"})["model"] == "a"
+            payload = service.stats_payload()
+            assert payload["warm_models"] == {"count": 1, "max_warm": 1, "loaded": ["a/1"]}
+
+            # Serving model b evicts a (max_warm=1) and closes a's batcher.
+            assert service.predict_payload({"tile": tile, "model": "b"})["model"] == "b"
+            payload = service.stats_payload()
+            assert payload["warm_models"]["loaded"] == ["b/1"]
+            assert list(payload["batchers"]) == ["b/1"]
+        finally:
+            service.close()
+
+    def test_closed_service_stops_listening_for_evictions(self, tmp_path, rng):
+        registry = ModelRegistry(str(tmp_path / "reg"), max_warm=1)
+        inference = InferenceConfig(tile_size=16, apply_cloud_filter=False)
+        for name in ("a", "b"):
+            model = UNet(UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=ord(name)))
+            registry.publish(name, 1, model, inference=inference)
+        service = InferenceService(registry, ServiceConfig(port=0, batch_window_s=0.0))
+        service.close()
+        assert registry._evict_listeners == []
+        # Evictions after close never touch the dead service.
+        registry.classifier("a")
+        registry.classifier("b")
+        assert registry.loaded_versions() == [("b", 1)]
