@@ -1,13 +1,15 @@
-"""Scene-inference engine throughput — serial seed path vs batched vs multi-process.
+"""Scene-inference engine throughput — seed path vs the execution backends.
 
 The seed repo classified scenes by looping tile batches through a model whose
 layers unconditionally cached their backward state (im2col matrices, pooling
 argmax masks), then stitched hard argmax labels.  The engine predicts
 probability maps through a cache-free inference path and blend-stitches them,
-optionally fanning batches out over a fork-based process pool.  This
-benchmark measures tiles/sec of both on a 1024×1024 synthetic scene and
-checks the engine's overlap-blended output agrees with the non-overlap
-output away from tile seams.
+dispatching tile batches through one of the unified execution backends
+(``serial`` in-process, ``thread`` pool, ``fork`` workers attached to the
+shared-memory model store).  This benchmark measures warm steady-state
+tiles/sec of each arm on a 1024×1024 synthetic scene and checks the engine's
+overlap-blended output agrees with the non-overlap output away from tile
+seams.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.backend import available_backends
 from repro.data import SceneSpec, synthesize_scene
 from repro.data.loader import image_to_tensor
 from repro.imops.resize import assemble_from_tiles, split_into_tiles
@@ -82,57 +85,118 @@ def _timed(func, *args):
 
 
 @pytest.mark.benchmark(group="inference")
-def test_inference_throughput_serial_vs_batched_vs_multiprocess(model, big_scene):
-    """Engine throughput must be >= 2x the serial seed path on a 1024x1024 scene."""
+def test_inference_throughput_seed_vs_backends(model, big_scene):
+    """Warm steady-state scene throughput of every execution backend.
+
+    Each backend arm is measured the way the serving tier actually runs it:
+    one persistent :class:`SceneClassifier` whose backend stays up across
+    scenes — workers forked once, packed weights published once into the
+    shared-memory store, plans compiled and I/O arenas allocated on a warm-up
+    scene — then best-of-``repeats`` over the timed scenes.  Gates (full
+    scale only, smoke runners are too noisy): the batched engine must be
+    >= 2x the seed path, and the fork backend must not fall below the
+    single-process batched arm — persistence + shared memory must at least
+    pay for the worker round trips, and on multi-core hosts beat them.
+    """
     scene = big_scene.rgb
     n_tiles = (SCENE // TILE) ** 2
+    workers = max(2, min(4, available_cpu_count()))
+    repeats = 1 if BENCH_SMOKE else 5
+    # Smoke scale has only (512/256)² = 4 tiles; batch 2 keeps at least two
+    # spans in flight so the fan-out backends still have work to overlap.
+    batch = 2 if BENCH_SMOKE else 4
 
     model.predict_proba(image_to_tensor(np.zeros((1, TILE, TILE, 3), np.uint8)))  # warmup
 
     seed_map, t_seed = _timed(_seed_style_classify, model, scene)
 
-    def engine(batch_size: int, num_workers: int) -> SceneClassifier:
-        config = InferenceConfig(
-            tile_size=TILE, overlap=0, apply_cloud_filter=False, batch_size=batch_size, num_workers=num_workers
-        )
-        return SceneClassifier(model=model, config=config)
+    backends = ["serial", "thread"]
+    if "fork" in available_backends():
+        backends.append("fork")
+    round_times: dict[str, list[float]] = {backend: [] for backend in backends}
+    arm_maps: dict[str, np.ndarray] = {}
+    classifiers: dict[str, SceneClassifier] = {}
+    try:
+        for backend in backends:
+            config = InferenceConfig(
+                tile_size=TILE, overlap=0, apply_cloud_filter=False, batch_size=batch,
+                backend=backend, num_workers=1 if backend == "serial" else workers,
+            )
+            classifiers[backend] = SceneClassifier(model=model, config=config)
+            classifiers[backend].classify_scene(scene)  # warm-up: fork, publish, compile
+        # Timed rounds interleave the arms so load drift on a shared runner
+        # lands on every backend equally rather than biasing whole arms.
+        for _ in range(repeats):
+            for backend in backends:
+                arm_maps[backend], elapsed = _timed(classifiers[backend].classify_scene, scene)
+                round_times[backend].append(elapsed)
+    finally:
+        for classifier in classifiers.values():
+            classifier.close()
+    arm_times = {backend: min(times) for backend, times in round_times.items()}
 
-    batched_map, t_batched = _timed(engine(4, 1).classify_scene, scene)
-    workers = max(2, min(4, available_cpu_count()))
-    mp_map, t_mp = _timed(engine(4, workers).classify_scene, scene)
-
+    t_batched = arm_times["serial"]
+    labels = {"serial": f"engine batched (batch {batch})",
+              "thread": f"engine + thread backend ({workers} workers)",
+              "fork": f"engine + fork backend ({workers} workers)"}
     rows = [
         {"path": "seed serial (caching, batch 8)", "time_s": round(t_seed, 2),
          "tiles_per_s": round(n_tiles / t_seed, 2), "speedup": 1.0},
-        {"path": "engine batched (batch 4)", "time_s": round(t_batched, 2),
-         "tiles_per_s": round(n_tiles / t_batched, 2), "speedup": round(t_seed / t_batched, 2)},
-        {"path": f"engine batched + {workers} workers", "time_s": round(t_mp, 2),
-         "tiles_per_s": round(n_tiles / t_mp, 2), "speedup": round(t_seed / t_mp, 2)},
     ]
+    for backend in backends:
+        rows.append({
+            "path": labels[backend], "time_s": round(arm_times[backend], 2),
+            "tiles_per_s": round(n_tiles / arm_times[backend], 2),
+            "speedup": round(t_seed / arm_times[backend], 2),
+        })
     print_rows(f"Scene inference throughput ({n_tiles} tiles of {TILE}x{TILE}, "
-               f"{available_cpu_count()} CPUs available)", rows)
+               f"{available_cpu_count()} CPUs available, best of {repeats} warm runs)", rows)
     # Merge-write per section so a partial run (e.g. only this test) cannot
     # wipe the "compiled" section the CI regression guard reads.
     update_bench_json("inference_throughput", "config", {
-        "tile": TILE, "scene": SCENE, "n_tiles": n_tiles,
-        "workers": workers, "smoke": BENCH_SMOKE,
+        "tile": TILE, "scene": SCENE, "n_tiles": n_tiles, "batch": batch,
+        "workers": workers, "repeats": repeats, "smoke": BENCH_SMOKE,
     })
     update_bench_json("inference_throughput", "rows", rows)
+    # Keyed per backend for the CI fork-vs-batched regression guard.
+    update_bench_json("inference_throughput", "backends", {
+        backend: {"time_s": round(arm_times[backend], 4),
+                  "tiles_per_s": round(n_tiles / arm_times[backend], 2)}
+        for backend in backends
+    })
 
-    assert batched_map.shape == scene.shape[:2]
-    assert mp_map.shape == scene.shape[:2]
     # Hard argmax stitching and probability stitching agree for disjoint tiles
     # up to prediction ties; the model is shared, so any mismatch is a seam bug.
-    assert np.mean(batched_map == seed_map) > 0.999
-    np.testing.assert_array_equal(mp_map, batched_map)
+    assert arm_maps["serial"].shape == scene.shape[:2]
+    assert np.mean(arm_maps["serial"] == seed_map) > 0.999
+    # Every backend arm must be *bit-identical* — same prediction seam, same
+    # compiled plans, only the execution vehicle differs.
+    for backend in backends[1:]:
+        np.testing.assert_array_equal(arm_maps[backend], arm_maps["serial"])
 
     # Shared CI runners are too noisy to gate on a timing ratio — the smoke
-    # run only records the numbers; the full-scale run enforces the 2x gate.
+    # run only records the numbers; the full-scale run enforces the gates.
     if not BENCH_SMOKE:
-        best = max(n_tiles / t_batched, n_tiles / t_mp)
+        best = max(n_tiles / t for t in arm_times.values())
         assert best >= 2.0 * (n_tiles / t_seed), (
             f"engine reached {best:.2f} tiles/s vs seed {n_tiles / t_seed:.2f} tiles/s"
         )
+        if "fork" in arm_times:
+            # On a single-CPU host the fork arm has nothing to parallelise, so
+            # holding level with the in-process arm (shared memory paying for
+            # the process hop) is the win condition.  Ambient load on a shared
+            # runner is one-sided — it only ever *adds* time — so each arm's
+            # best round is its least-contaminated measurement; gate on that
+            # ratio with a 5% floor for residual scheduling jitter.
+            ratio = min(round_times["fork"]) / min(round_times["serial"])
+            pair_ratios = [
+                round(fork / serial, 2)
+                for fork, serial in zip(round_times["fork"], round_times["serial"])
+            ]
+            assert ratio <= 1.05, (
+                f"fork backend's best round ran {ratio:.2f}x the single-process "
+                f"batched arm's (per-round ratios {pair_ratios})"
+            )
 
 
 @pytest.mark.benchmark(group="inference")

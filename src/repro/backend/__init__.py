@@ -1,0 +1,41 @@
+"""Unified execution-backend seam (serial / thread / fork).
+
+Every fan-out layer in the repo — scene inference, the serving tier, the
+auto-label pool and the map-reduce executors — dispatches through one
+:class:`~repro.backend.base.Backend`, selected by name (or ``"auto"``,
+which honours the ``REPRO_BACKEND`` environment variable).  The fork
+backend keeps persistent workers attached to a shared-memory model store
+(:mod:`repro.backend.store`): weights and pre-packed compiled-plan GEMM
+operands are published once and mapped read-only by every worker.
+"""
+
+from .base import (
+    BACKEND_ENV_VAR,
+    Backend,
+    BackendError,
+    ModelHandle,
+    available_backends,
+    make_backend,
+    resolve_backend_name,
+)
+from .process import ProcessBackend
+from .serial import SerialBackend
+from .store import SEGMENT_PREFIX, SharedModelSpec, SharedModelStore, attach_model
+from .thread import ThreadBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "BackendError",
+    "ModelHandle",
+    "ProcessBackend",
+    "SEGMENT_PREFIX",
+    "SerialBackend",
+    "SharedModelSpec",
+    "SharedModelStore",
+    "ThreadBackend",
+    "attach_model",
+    "available_backends",
+    "make_backend",
+    "resolve_backend_name",
+]

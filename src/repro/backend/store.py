@@ -1,0 +1,313 @@
+"""Shared-memory model store for the process backend.
+
+Publishing a model serialises it **once** into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment holding
+
+* every ``state_dict`` parameter array, and
+* the pre-packed ``(F, k·k·C)`` GEMM weight matrix + bias column of every
+  convolution a compiled plan binds (see
+  :func:`repro.unet.compiled.iter_plan_conv_layers` /
+  :func:`repro.nn.plan.pack_conv_weights`).
+
+Workers receive only a tiny picklable :class:`SharedModelSpec` (segment name
+plus array offsets) and :func:`attach_model` rebuilds the model with its
+parameter values *aliased* to read-only views of the one shared segment —
+N workers, one physical copy, no per-worker pickling and no per-worker
+re-packing.  Packing is input-shape independent, so the shared pack serves
+every plan shape a worker compiles.
+
+The same segment helpers back the backend's input/output arenas: a tile
+batch is written into a shared input segment once and each worker's compiled
+plan softmaxes straight into a shared output arena (``plan.run(out=…)``),
+so task messages carry only span indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedArrayField",
+    "SharedModelSpec",
+    "SharedModelStore",
+    "AttachedModel",
+    "attach_model",
+    "create_segment",
+    "attach_segment",
+    "ndarray_view",
+]
+
+#: Every segment this store creates carries this prefix, so leak checks can
+#: assert ``/dev/shm`` holds no ``repro_ms_*`` entries after a backend closes.
+SEGMENT_PREFIX = "repro_ms_"
+
+_ALIGN = 64  # cache-line align every array so BLAS sees friendly operands
+_counter = itertools.count()
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{next(_counter):x}_{secrets.token_hex(4)}"
+
+
+def create_segment(nbytes: int, name: str | None = None) -> shared_memory.SharedMemory:
+    """Create (and own) a shared-memory segment of at least ``nbytes``."""
+    return shared_memory.SharedMemory(
+        name=name or _new_segment_name(), create=True, size=max(1, int(nbytes))
+    )
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment owned by the parent process.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the mapping with
+    the resource tracker even when merely attaching.  Backend workers share
+    the parent's tracker process (multiprocessing hands the tracker down),
+    whose cache is a *set* of names — the attach-side register is therefore
+    an idempotent no-op, and calling ``unregister`` here would delete the
+    *owner's* registration (KeyError spam at unlink, leaked segments on
+    crash).  So: attach plainly, never unregister from the attach side, and
+    let the creating process's unlink do the single balanced unregister.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def close_segment(shm: shared_memory.SharedMemory, unlink: bool = False) -> None:
+    """Close (and optionally unlink) a segment, tolerating live array views.
+
+    ``SharedMemory.close`` raises ``BufferError`` while ndarray views of the
+    buffer are still alive; during teardown the mapping is reclaimed at
+    process exit anyway, so a lingering view must not turn shutdown into a
+    crash.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def ndarray_view(
+    shm: shared_memory.SharedMemory,
+    shape: tuple[int, ...],
+    offset: int = 0,
+    dtype=np.float32,
+    writeable: bool = True,
+) -> np.ndarray:
+    """A (optionally read-only) ndarray aliasing ``shm``'s buffer at ``offset``."""
+    view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+    if not writeable:
+        view.flags.writeable = False
+    return view
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedArrayField:
+    """Location of one float32 array inside a model segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * 4 if self.shape else 4
+
+
+@dataclass(frozen=True)
+class SharedModelSpec:
+    """Everything a worker needs to rebuild a published model (picklable, tiny)."""
+
+    key: object
+    segment_name: str
+    unet_config: object  # UNetConfig (frozen dataclass, pickles by value)
+    params: tuple[SharedArrayField, ...]
+    packed: tuple[tuple[str, SharedArrayField, SharedArrayField | None], ...]
+    cloud_filter: object | None = None
+    plan_cache_size: int = 8
+    warm_shapes: tuple[tuple[int, ...], ...] = field(default_factory=tuple)
+
+
+class SharedModelStore:
+    """Parent-side registry of published model segments (one per key)."""
+
+    def __init__(self) -> None:
+        self._segments: dict[object, shared_memory.SharedMemory] = {}
+        self._specs: dict[object, SharedModelSpec] = {}
+
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        key,
+        model,
+        cloud_filter=None,
+        *,
+        plan_cache_size: int = 8,
+        warm_shapes=(),
+    ) -> SharedModelSpec:
+        """Lay ``model`` out in one shared segment and return its spec.
+
+        Re-publishing an existing key replaces the old segment (hot-swap).
+        """
+        from ..nn.plan import pack_conv_weights
+        from ..unet.compiled import iter_plan_conv_layers
+        from ..unet.model import UNet
+
+        if not isinstance(model, UNet):
+            raise TypeError(
+                f"the shared model store requires a UNet, got {type(model).__name__}"
+            )
+
+        state = {name: p.value for name, p in model.named_parameters().items()}
+        packs = {name: pack_conv_weights(conv) for name, conv in iter_plan_conv_layers(model)}
+
+        # First pass: compute the aligned layout.
+        offset = 0
+        param_fields: list[SharedArrayField] = []
+        for name, value in state.items():
+            offset = _aligned(offset)
+            param_fields.append(SharedArrayField(name, tuple(value.shape), offset))
+            offset += value.size * 4
+        packed_fields: list[tuple[str, SharedArrayField, SharedArrayField | None]] = []
+        for name, (w_mat, bias) in packs.items():
+            offset = _aligned(offset)
+            w_field = SharedArrayField(name, tuple(w_mat.shape), offset)
+            offset += w_mat.size * 4
+            b_field = None
+            if bias is not None:
+                offset = _aligned(offset)
+                b_field = SharedArrayField(name, tuple(bias.shape), offset)
+                offset += bias.size * 4
+            packed_fields.append((name, w_field, b_field))
+
+        # Second pass: copy everything in.
+        shm = create_segment(offset)
+        try:
+            for fld in param_fields:
+                ndarray_view(shm, fld.shape, fld.offset)[...] = state[fld.name]
+            for name, w_field, b_field in packed_fields:
+                w_mat, bias = packs[name]
+                ndarray_view(shm, w_field.shape, w_field.offset)[...] = w_mat
+                if b_field is not None:
+                    ndarray_view(shm, b_field.shape, b_field.offset)[...] = bias
+        except BaseException:
+            close_segment(shm, unlink=True)
+            raise
+
+        spec = SharedModelSpec(
+            key=key,
+            segment_name=shm.name,
+            unet_config=model.config,
+            params=tuple(param_fields),
+            packed=tuple(packed_fields),
+            cloud_filter=cloud_filter,
+            plan_cache_size=int(plan_cache_size),
+            warm_shapes=tuple(tuple(int(d) for d in s) for s in warm_shapes),
+        )
+        self.release(key)
+        self._segments[key] = shm
+        self._specs[key] = spec
+        return spec
+
+    def spec(self, key) -> SharedModelSpec:
+        return self._specs[key]
+
+    def specs(self) -> list[SharedModelSpec]:
+        return list(self._specs.values())
+
+    def __contains__(self, key) -> bool:
+        return key in self._specs
+
+    def keys(self) -> list:
+        return list(self._specs)
+
+    def release(self, key) -> None:
+        """Unlink ``key``'s segment (no-op when absent)."""
+        shm = self._segments.pop(key, None)
+        self._specs.pop(key, None)
+        if shm is not None:
+            close_segment(shm, unlink=True)
+
+    def close(self) -> None:
+        for key in list(self._segments):
+            self.release(key)
+
+
+class AttachedModel:
+    """Worker-side handle: a model whose weights alias the shared segment.
+
+    The rebuilt model's parameter values are **read-only views** into the
+    published segment, and its :class:`~repro.unet.compiled.CompiledUNet`
+    binds the shared pre-packed GEMM operands — attaching costs one mmap
+    plus module construction, never a weight copy or a re-pack.
+    """
+
+    def __init__(self, spec: SharedModelSpec) -> None:
+        from ..unet.compiled import CompiledUNet
+        from ..unet.model import UNet
+
+        self.spec = spec
+        self.shm = attach_segment(spec.segment_name)
+        model = UNet(spec.unet_config)
+        params = model.named_parameters()
+        for fld in spec.params:
+            param = params[fld.name]
+            if tuple(param.value.shape) != fld.shape:  # pragma: no cover - defensive
+                raise ValueError(f"shared layout mismatch for parameter {fld.name!r}")
+            param.value = ndarray_view(self.shm, fld.shape, fld.offset, writeable=False)
+        model.eval()
+        packed = {
+            name: (
+                ndarray_view(self.shm, w.shape, w.offset, writeable=False),
+                None if b is None else ndarray_view(self.shm, b.shape, b.offset, writeable=False),
+            )
+            for name, w, b in spec.packed
+        }
+        self.model = model
+        self.cloud_filter = spec.cloud_filter
+        self.engine = CompiledUNet(model, max_plans=spec.plan_cache_size, packed_weights=packed)
+        for shape in spec.warm_shapes:
+            self.engine.warm(shape)
+
+    def predict(self, batch: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        from ..unet.inference import predict_batch_probabilities
+
+        return predict_batch_probabilities(
+            batch, self.model, self.cloud_filter, engine=self.engine, out=out
+        )
+
+    def warm(self, batch_shape: tuple[int, ...]) -> None:
+        """Run one throwaway ``(N, H, W, C)`` batch to bring a plan fully hot.
+
+        Compiling a plan is cheap; its *first execution* is not — it
+        first-touches the workspace arena (page faults on tens of MB).  The
+        parent broadcasts a warm for each new stack shape so no real request
+        ever lands on a cold plan.
+        """
+        if self.engine is not None:
+            self.predict(np.zeros(tuple(batch_shape), dtype=np.uint8))
+
+    def close(self) -> None:
+        """Detach from the segment (drops the weight views first)."""
+        self.engine = None
+        self.model = None
+        close_segment(self.shm)
+
+
+def attach_model(spec: SharedModelSpec) -> AttachedModel:
+    """Attach to a published model (worker-side entry point)."""
+    return AttachedModel(spec)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 
 
 def _cmd_autolabel(args: argparse.Namespace) -> int:
@@ -124,17 +125,26 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         labels = autolabel_batch(tiles, apply_cloud_filter=not args.no_filter)
         trainer.fit(BatchLoader(tiles, labels, batch_size=args.batch_size, seed=args.seed), epochs=args.epochs)
 
+    if args.workers > 1 and args.backend == "auto":
+        warnings.warn(
+            "--workers alone is a deprecated way to enable fan-out; "
+            "prefer --backend fork --workers N",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     config = InferenceConfig(
         tile_size=args.tile_size,
         overlap=args.overlap,
         apply_cloud_filter=not args.no_filter,
         batch_size=args.batch_size,
         num_workers=args.workers,
+        backend=args.backend,
     )
     classifier = SceneClassifier(model=trainer.model, config=config)
     start = time.perf_counter()
     class_map = classifier.classify_scene(scene.rgb)
     elapsed = time.perf_counter() - start
+    classifier.close()
     # Tile count from geometry alone — no need to cut the scene a second time.
     stride = args.tile_size - args.overlap
     per_axis = 1 if args.scene_size <= args.tile_size else -(-(args.scene_size - args.tile_size) // stride) + 1
@@ -145,6 +155,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
                 "scene_size": args.scene_size,
                 "tile_size": args.tile_size,
                 "overlap": args.overlap,
+                "backend": config.resolved_backend(),
                 "num_workers": args.workers,
                 "batch_size": args.batch_size,
                 "num_tiles": num_tiles,
@@ -168,6 +179,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.inference_config:
         with open(args.inference_config) as fh:
             inference = InferenceConfig.from_dict(json.load(fh))
+    if args.backend != "auto" or args.backend_workers is not None:
+        from dataclasses import replace
+
+        base = inference or InferenceConfig()
+        inference = replace(
+            base,
+            backend=args.backend,
+            num_workers=args.backend_workers if args.backend_workers is not None else base.num_workers,
+        )
 
     if args.demo:
         registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
@@ -341,7 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scene-size", type=int, default=256)
     p.add_argument("--tile-size", type=int, default=64)
     p.add_argument("--overlap", type=int, default=0, help="pixels shared by neighbouring tiles (blend-stitched)")
-    p.add_argument("--workers", type=int, default=1, help="worker processes for batch fan-out")
+    p.add_argument("--backend", choices=("auto", "serial", "thread", "fork"), default="auto",
+                   help="execution backend for batch fan-out (auto resolves from "
+                        "REPRO_BACKEND, then --workers)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="backend worker count (bare --workers N is the deprecated "
+                        "pre-backend alias for --backend fork)")
     p.add_argument("--batch-size", type=int, default=8)
     p.add_argument("--epochs", type=int, default=3,
                    help="quick auto-label training epochs before inference (0 = untrained throughput run)")
@@ -363,6 +388,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch flush deadline in milliseconds")
     p.add_argument("--inference-config", default=None,
                    help="JSON file of InferenceConfig settings overriding archive metadata")
+    p.add_argument("--backend", choices=("auto", "serial", "thread", "fork"), default="auto",
+                   help="execution backend every served model dispatches through")
+    p.add_argument("--backend-workers", type=int, default=None,
+                   help="worker count for thread/fork backends")
     p.add_argument("--demo", action="store_true",
                    help="publish a freshly trained tiny model into the registry and serve it")
     p.add_argument("--demo-epochs", type=int, default=1,

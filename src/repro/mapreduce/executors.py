@@ -1,6 +1,7 @@
 """Executor backends that run partition tasks for the sparklite engine.
 
-Three interchangeable backends:
+Three interchangeable backends, each a thin adapter over the unified
+execution-backend seam (:mod:`repro.backend`):
 
 * :class:`SerialExecutor` — runs partitions one after another in-process
   (the 1-executor / 1-core baseline and the reference for correctness tests);
@@ -10,15 +11,18 @@ Three interchangeable backends:
   stand-in for the paper's multi-node Dataproc executors.
 
 Every backend exposes the same ``run(partitions, task)`` interface, where
-``task`` is a picklable callable applied to each partition's item list.
+``task`` is a picklable callable applied to each partition's item list.  The
+workers themselves — lifecycle, chunking, crash handling — live in the
+backend seam; this layer only maps partitions onto :meth:`Backend.map`.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Protocol, Sequence
 
+from ..backend.process import ProcessBackend
+from ..backend.serial import SerialBackend
+from ..backend.thread import ThreadBackend
 from .partition import Partition
 
 __all__ = [
@@ -41,13 +45,19 @@ class ExecutorBackend(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+def _run_on_backend(backend, partitions: Sequence[Partition], task) -> list[list]:
+    """Map ``task`` over partition item lists, one partition per task message."""
+    with backend:
+        return backend.map(task, [list(p.items) for p in partitions], chunk_size=1)
+
+
 class SerialExecutor:
     """Runs every partition in the driver process, one at a time."""
 
     parallelism = 1
 
     def run(self, partitions: Sequence[Partition], task: Callable[[list], list]) -> list[list]:
-        return [task(list(p.items)) for p in partitions]
+        return _run_on_backend(SerialBackend(), partitions, task)
 
 
 class ThreadPoolExecutorBackend:
@@ -59,14 +69,7 @@ class ThreadPoolExecutorBackend:
         self.parallelism = num_threads
 
     def run(self, partitions: Sequence[Partition], task: Callable[[list], list]) -> list[list]:
-        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-            futures = [pool.submit(task, list(p.items)) for p in partitions]
-            return [f.result() for f in futures]
-
-
-def _run_partition(args: tuple[Callable[[list], list], list]) -> list:
-    task, items = args
-    return task(items)
+        return _run_on_backend(ThreadBackend(num_workers=self.parallelism), partitions, task)
 
 
 class ProcessPoolExecutorBackend:
@@ -77,14 +80,16 @@ class ProcessPoolExecutorBackend:
             raise ValueError("num_processes must be >= 1")
         self.parallelism = num_processes
         if start_method is None:
+            import multiprocessing as mp
+
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        self._ctx = mp.get_context(start_method)
+        self._start_method = start_method
 
     def run(self, partitions: Sequence[Partition], task: Callable[[list], list]) -> list[list]:
         if not partitions:
             return []
-        with ProcessPoolExecutor(max_workers=self.parallelism, mp_context=self._ctx) as pool:
-            return list(pool.map(_run_partition, [(task, list(p.items)) for p in partitions]))
+        backend = ProcessBackend(num_workers=self.parallelism, start_method=self._start_method)
+        return _run_on_backend(backend, partitions, task)
 
 
 def make_executor(kind: str = "serial", parallelism: int = 4) -> ExecutorBackend:

@@ -44,9 +44,32 @@ __all__ = [
     "PlanBuilder",
     "CompiledPlan",
     "PlanCache",
+    "pack_conv_weights",
 ]
 
 _ALIGN = 16  # float32 elements (64 bytes) — keeps every buffer cache-line aligned.
+
+
+def pack_conv_weights(conv) -> tuple[np.ndarray, np.ndarray | None]:
+    """Pack a ``Conv2D`` layer's weights into their ``(offset, channel)`` GEMM layout.
+
+    This is the exact packing :meth:`PlanBuilder.conv2d` performs at compile
+    time — one transpose+reshape copy of the weight into the contiguous
+    ``(F, k*k*C)`` GEMM operand plus a ``(F, 1)`` bias column.  It is exposed
+    so a shared-memory model store can pack once in the parent process and
+    have every worker's plan bind the *same* physical copy (the layout is
+    input-shape independent, so one pack serves every compiled shape).
+    """
+    f = conv.out_channels
+    # One transpose+reshape per *compile* instead of per call.  The explicit
+    # copy matters twice over: it keeps the GEMM operand contiguous, and it
+    # snapshots the weights (for 1×1 kernels the transpose+reshape would
+    # otherwise be a live view of the parameter).
+    w_mat = np.array(conv.weight.value.transpose(0, 2, 3, 1).reshape(f, -1), dtype=np.float32)
+    # np.array (not ascontiguousarray): the bias is already contiguous, so
+    # only an explicit copy snapshots it alongside the packed weights.
+    bias = np.array(conv.bias.value, dtype=np.float32).reshape(f, 1) if conv.use_bias else None
+    return w_mat, bias
 
 
 class Slot:
@@ -212,7 +235,13 @@ class _UpsamplePadStep(_Step):
 
 
 class _SoftmaxStep(_Step):
-    """Channel softmax of the logits — the plan's one fresh allocation."""
+    """Channel softmax of the logits — the plan's one fresh allocation.
+
+    With ``run_into`` the fresh allocation disappears too: the softmax is
+    computed straight into a caller-provided buffer (e.g. a shared-memory
+    output arena) with the exact operation sequence of
+    :func:`repro.nn.losses.softmax`, so the results stay bit-identical.
+    """
 
     def __init__(self, src: Slot):
         self.src = src
@@ -224,6 +253,14 @@ class _SoftmaxStep(_Step):
         from .losses import softmax
 
         return softmax(self._logits, axis=1)
+
+    def run_into(self, x, out: np.ndarray) -> np.ndarray:
+        # Mirrors losses.softmax op for op (max-subtract, exp, normalise) so
+        # every float matches the allocating path bit for bit.
+        np.subtract(self._logits, self._logits.max(axis=1, keepdims=True), out=out)
+        np.exp(out, out=out)
+        out /= out.sum(axis=1, keepdims=True)
+        return out
 
 
 class CompiledPlan:
@@ -242,20 +279,31 @@ class CompiledPlan:
         """Total bytes of the preallocated workspace arena."""
         return self._arena.nbytes
 
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Execute the plan on ``x`` (must match the compiled input shape).
 
         Serialised per plan: the steps write into shared arena views, so two
-        concurrent runs of the same plan must not interleave.
+        concurrent runs of the same plan must not interleave.  With ``out``
+        (a float32 array of the plan's output shape) the final softmax writes
+        straight into the caller's buffer — the zero-copy seam the
+        shared-memory fork backend uses to land probabilities in a shared
+        output arena — producing bit-identical values to the allocating path.
         """
         x = np.asarray(x, dtype=np.float32)
         if x.shape != self.input_shape:
             raise ValueError(f"plan compiled for input {self.input_shape}, got {x.shape}")
+        if out is not None and (out.shape != self.output_shape or out.dtype != np.float32):
+            raise ValueError(
+                f"plan output buffer must be float32 {self.output_shape}, "
+                f"got {out.dtype} {out.shape}"
+            )
         with self._lock:
-            out = None
-            for step in self._steps:
-                out = step.run(x)
-            return out
+            for step in self._steps[:-1]:
+                step.run(x)
+            last = self._steps[-1]
+            if out is not None:
+                return last.run_into(x, out)
+            return last.run(x)
 
 
 class PlanBuilder:
@@ -267,7 +315,7 @@ class PlanBuilder:
     drive these primitives.
     """
 
-    def __init__(self, input_shape: tuple[int, ...]):
+    def __init__(self, input_shape: tuple[int, ...], packed_weights: dict | None = None):
         if len(input_shape) != 4 or min(input_shape) < 1:
             raise ValueError(f"expected a concrete (N, C, H, W) input shape, got {input_shape}")
         self.input_shape = tuple(int(d) for d in input_shape)
@@ -275,6 +323,10 @@ class PlanBuilder:
         self._scratch_size = 0  # shared offset-GEMM cols region, sized to the largest conv
         self._scratch_slots: list[Slot] = []
         self._steps: list[_Step] = []
+        #: ``{layer name: (w_mat, bias)}`` of externally pre-packed GEMM
+        #: weights (see :func:`pack_conv_weights`) bound zero-copy instead of
+        #: re-packing — this is how N fork workers share one physical copy.
+        self._packed_weights = packed_weights or {}
 
     # ------------------------------------------------------------------ #
     # Arena reservation
@@ -301,13 +353,19 @@ class PlanBuilder:
     # ------------------------------------------------------------------ #
     # Primitives
     # ------------------------------------------------------------------ #
-    def conv2d(self, src: Slot, conv, relu: bool = False, out: Slot | None = None) -> Slot:
+    def conv2d(self, src: Slot, conv, relu: bool = False, out: Slot | None = None,
+               name: str | None = None) -> Slot:
         """Append a convolution of ``src`` by a ``Conv2D`` layer.
 
         Pads into a dedicated pre-zeroed buffer when the layer pads, packs the
         weights into their ``(offset, channel)`` GEMM layout, and routes the
         GEMM output into ``out`` (e.g. a channel slice of a merged buffer)
         or a freshly reserved activation.  Returns the output slot.
+
+        ``name`` keys the layer into the builder's ``packed_weights`` map:
+        when a pre-packed ``(w_mat, bias)`` pair was supplied for it (e.g.
+        views into a shared-memory weight arena) the step binds that pair
+        directly instead of packing a private copy.
         """
         n, c, h, w = (self.input_shape if src is INPUT else src.view_shape)
         if c != conv.in_channels:
@@ -328,15 +386,18 @@ class PlanBuilder:
             src = copied
 
         f = conv.out_channels
-        weight = conv.weight.value
-        # One transpose+reshape per *compile* instead of per call.  The
-        # explicit copy matters twice over: it keeps the GEMM operand
-        # contiguous, and it snapshots the weights (for 1×1 kernels the
-        # transpose+reshape would otherwise be a live view of the parameter).
-        w_mat = np.array(weight.transpose(0, 2, 3, 1).reshape(f, -1), dtype=np.float32)
-        # np.array (not ascontiguousarray): the bias is already contiguous, so
-        # only an explicit copy snapshots it alongside the packed weights.
-        bias = np.array(conv.bias.value, dtype=np.float32).reshape(f, 1) if conv.use_bias else None
+        packed = self._packed_weights.get(name) if name is not None else None
+        if packed is not None:
+            w_mat, bias = packed
+            if w_mat.shape != (f, k * k * c):
+                raise ValueError(
+                    f"pre-packed weights for {name!r} have shape {w_mat.shape}, "
+                    f"expected {(f, k * k * c)}"
+                )
+            if (bias is None) != (not conv.use_bias):
+                raise ValueError(f"pre-packed bias for {name!r} does not match use_bias")
+        else:
+            w_mat, bias = pack_conv_weights(conv)
 
         cols = None if (k == 1 and s == 1) else self._reserve_scratch((n, k * k * c, oh, ow))
         if out is None:

@@ -12,6 +12,11 @@ driver only orchestrates; chunks are sized so each worker receives a few
 large messages rather than thousands of tiny ones; and ``fork`` start method
 is preferred so the read-only tile stack is shared copy-on-write instead of
 being pickled to every worker.
+
+Since the unified execution-backend seam landed, this module is a thin
+adapter: the fan-out itself is :meth:`repro.backend.ProcessBackend.map`,
+and this layer only keeps the historical measurement-oriented API
+(:class:`ParallelMapResult`, :func:`measure_scaling`) on top of it.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from ..backend.process import ProcessBackend
 
 __all__ = [
     "available_cpu_count",
@@ -54,11 +61,6 @@ def default_chunk_size(num_items: int, num_workers: int, chunks_per_worker: int 
 def serial_map(func: Callable, items: Sequence) -> list:
     """Reference serial implementation (the ``Ts`` baseline of Table I)."""
     return [func(item) for item in items]
-
-
-def _apply_chunk(args: tuple[Callable, Sequence]) -> list:
-    func, chunk = args
-    return [func(item) for item in chunk]
 
 
 @dataclass
@@ -121,13 +123,10 @@ def parallel_map(
         results = serial_map(func, items)
         return ParallelMapResult(results, time.perf_counter() - start, 1, max(n, 1))
 
-    chunks = [items[i : i + chunk_size] for i in range(0, n, chunk_size)]
     if start_method is None:
         start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-    ctx = mp.get_context(start_method)
-    with ctx.Pool(processes=num_workers) as pool:
-        chunk_results = pool.map(_apply_chunk, [(func, chunk) for chunk in chunks])
-    results = [item for chunk in chunk_results for item in chunk]
+    with ProcessBackend(num_workers=num_workers, start_method=start_method) as backend:
+        results = backend.map(func, items, chunk_size=chunk_size)
     return ParallelMapResult(results, time.perf_counter() - start, num_workers, chunk_size)
 
 

@@ -121,6 +121,7 @@ class MicroBatcher:
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
         self._closed = threading.Event()
+        self._close_lock = threading.Lock()
         self._worker = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
         self._worker.start()
 
@@ -151,10 +152,16 @@ class MicroBatcher:
             )
 
     def close(self, timeout: float | None = 5.0) -> None:
-        """Stop accepting work, drain what is queued, and join the worker."""
-        if not self._closed.is_set():
-            self._closed.set()
-            self._queue.put(None)
+        """Stop accepting work, drain what is queued, and join the worker.
+
+        Idempotent and thread-safe: concurrent retirement paths (a registry
+        hot-swap racing an LRU eviction) may both close the same batcher, and
+        exactly one of them enqueues the shutdown sentinel.
+        """
+        with self._close_lock:
+            if not self._closed.is_set():
+                self._closed.set()
+                self._queue.put(None)
         self._worker.join(timeout)
         # A submit() that raced past the closed-check may have enqueued behind
         # the shutdown sentinel; fail those immediately instead of letting the

@@ -61,6 +61,10 @@ class ModelRecord:
 class _WarmEntry:
     record: ModelRecord
     classifier: SceneClassifier
+    #: Set exactly once, under the registry lock, by whichever retirement
+    #: path (version hot-swap or LRU cap) gets there first — the flag is
+    #: what makes racing retirements idempotent.
+    retired: bool = False
 
 
 def _unet_from_metadata(record: ModelRecord, metadata: dict) -> UNet:
@@ -271,27 +275,52 @@ class ModelRegistry:
             loaded = self._load(record)
             with self._lock:
                 entry = self._warm.setdefault(key, _WarmEntry(record=record, classifier=loaded))
-        evicted: list[tuple[str, int]] = []
+        evicted: list[tuple[tuple[str, int], _WarmEntry]] = []
         with self._lock:
             # LRU bookkeeping: re-insert the served key at the back.
             if key in self._warm:
                 self._warm[key] = self._warm.pop(key)
             for other in [k for k in self._warm if k[0] == record.name and k[1] < record.version]:
-                del self._warm[other]
-                evicted.append(other)
+                self._claim_retirement(other, evicted)
             if self.max_warm is not None:
                 while len(self._warm) > self.max_warm:
                     old_key = next(iter(self._warm))
                     if old_key == key:  # never evict the entry being served
                         self._warm[key] = self._warm.pop(key)
                         continue
-                    del self._warm[old_key]
-                    evicted.append(old_key)
+                    self._claim_retirement(old_key, evicted)
             listeners = list(self._evict_listeners)
-        for evicted_key in evicted:
-            for listener in listeners:
-                listener(evicted_key)
+        for evicted_key, evicted_entry in evicted:
+            self._finish_retirement(evicted_key, evicted_entry, listeners)
         return entry.classifier
+
+    def _claim_retirement(
+        self, key: tuple[str, int], claimed: list[tuple[tuple[str, int], _WarmEntry]]
+    ) -> None:
+        """Claim ``key``'s warm entry for retirement.  Must hold ``_lock``.
+
+        Exactly one caller wins the claim: the entry is removed from the warm
+        map and its ``retired`` flag flipped atomically under the lock, so a
+        hot-swap and an LRU eviction racing over the same key cannot both
+        notify listeners (which used to double-close the retired batcher).
+        """
+        entry = self._warm.pop(key, None)
+        if entry is not None and not entry.retired:
+            entry.retired = True
+            claimed.append((key, entry))
+
+    def _finish_retirement(self, key: tuple[str, int], entry: _WarmEntry, listeners: list) -> None:
+        """Release a claimed entry's resources and notify listeners (outside the lock)."""
+        entry.classifier.close()  # shut the backend down, release shared weights
+        for listener in listeners:
+            listener(key)
+
+    def warm_classifier(self, name: str, version: int) -> SceneClassifier | None:
+        """The warm classifier for ``(name, version)`` — or ``None`` — without
+        loading, LRU re-ordering, or any other side effect (observability peek)."""
+        with self._lock:
+            entry = self._warm.get((name, int(version)))
+        return None if entry is None else entry.classifier
 
     def loaded_versions(self, name: str | None = None) -> list[tuple[str, int]]:
         """The (name, version) pairs currently held warm."""
@@ -325,4 +354,8 @@ class ModelRegistry:
         # request does not pay plan compilation (a no-op when compile_plans
         # is off).  Serving traffic at other batch shapes compiles lazily.
         classifier.warm_plans(batch_sizes=(1,))
+        # Bring the execution backend up too: a non-serial config publishes
+        # the packed weights into the backend's (shared-memory) model store
+        # here, at warm-up — retirement releases them again.
+        _ = classifier.backend
         return classifier

@@ -204,10 +204,30 @@ class InferenceService:
                 for (name, version), batcher in sorted(self._batchers.items())
             }
 
+    def backend_stats(self) -> dict:
+        """Execution-backend occupancy per warm model (``/stats``).
+
+        A warm classifier with an in-process (serial) config reports just its
+        backend name; thread/fork classifiers report live worker occupancy,
+        published models and dispatch counters from :meth:`Backend.occupancy`.
+        """
+        stats: dict = {}
+        for name, version in self.registry.loaded_versions():
+            classifier = self.registry.warm_classifier(name, version)
+            if classifier is None:  # raced retirement between the two reads
+                continue
+            backend = classifier.backend
+            if backend is None:
+                stats[f"{name}/{version}"] = {"backend": "serial", "workers": 1}
+            else:
+                stats[f"{name}/{version}"] = backend.occupancy()
+        return stats
+
     def stats_payload(self) -> dict:
-        """The ``/stats`` body: batcher counters plus warm-model occupancy."""
+        """The ``/stats`` body: batcher counters, backend occupancy, warm models."""
         return {
             "batchers": self.batcher_stats(),
+            "backends": self.backend_stats(),
             "warm_models": {
                 "count": self.registry.warm_count(),
                 "max_warm": self.registry.max_warm,

@@ -29,14 +29,42 @@ import numpy as np
 from ..nn.plan import INPUT, CompiledPlan, PlanBuilder, PlanCache
 from .model import UNet
 
-__all__ = ["compile_unet_plan", "CompiledUNet"]
+__all__ = ["compile_unet_plan", "iter_plan_conv_layers", "CompiledUNet"]
 
 
-def compile_unet_plan(model: UNet, input_shape: tuple[int, ...]) -> CompiledPlan:
+def iter_plan_conv_layers(model: UNet):
+    """Yield ``(name, Conv2D)`` for every convolution a U-Net plan packs.
+
+    The names are the layers' dotted module paths (the same paths
+    ``state_dict`` uses), in plan execution order.  This is the single
+    enumeration both :func:`compile_unet_plan` and the shared-memory model
+    store rely on, so pre-packed weights published under these names line up
+    with the plan steps that bind them.
+    """
+    if not isinstance(model, UNet):
+        raise TypeError(f"iter_plan_conv_layers requires a UNet, got {type(model).__name__}")
+    for e, encoder in enumerate(model.encoders):
+        yield f"encoders.{e}.conv.conv1", encoder.conv.conv1
+        yield f"encoders.{e}.conv.conv2", encoder.conv.conv2
+    yield "bottleneck.conv1", model.bottleneck.conv1
+    yield "bottleneck.conv2", model.bottleneck.conv2
+    for j, decoder in enumerate(model.decoders):
+        yield f"decoders.{j}.upconv.conv", decoder.upconv.conv
+        yield f"decoders.{j}.conv.conv1", decoder.conv.conv1
+        yield f"decoders.{j}.conv.conv2", decoder.conv.conv2
+    yield "head", model.head
+
+
+def compile_unet_plan(
+    model: UNet, input_shape: tuple[int, ...], packed_weights: dict | None = None
+) -> CompiledPlan:
     """Compile ``model``'s eval forward for one concrete input shape.
 
     The plan computes ``softmax(model.forward(x), axis=1)`` — the same maps
     :meth:`UNet.predict_proba` produces — without per-call allocations.
+    ``packed_weights`` maps :func:`iter_plan_conv_layers` names to pre-packed
+    ``(w_mat, bias)`` pairs (e.g. read-only views into a shared-memory weight
+    arena); layers found there bind the shared pack instead of copying.
     """
     if not isinstance(model, UNet):
         raise TypeError(f"compile_unet_plan requires a UNet, got {type(model).__name__}")
@@ -51,7 +79,7 @@ def compile_unet_plan(model: UNet, input_shape: tuple[int, ...]) -> CompiledPlan
         raise ValueError(f"input spatial size must be divisible by {step} for depth {cfg.depth}")
 
     widths = cfg.encoder_channels()
-    b = PlanBuilder((n, c, h, w))
+    b = PlanBuilder((n, c, h, w), packed_weights=packed_weights)
 
     # Merged (up-convolution ‖ skip) buffers, one per encoder/decoder level.
     # Channel layout matches Concat(upsampled, skip): [0:width) up, [width:2w) skip.
@@ -60,21 +88,23 @@ def compile_unet_plan(model: UNet, input_shape: tuple[int, ...]) -> CompiledPlan
     x = INPUT
     for e, encoder in enumerate(model.encoders):
         block = encoder.conv  # DoubleConv (dropout is identity in eval)
-        x = b.conv2d(x, block.conv1, relu=True)
-        skip = b.conv2d(x, block.conv2, relu=True, out=merged[e].slice(widths[e], 2 * widths[e]))
+        x = b.conv2d(x, block.conv1, relu=True, name=f"encoders.{e}.conv.conv1")
+        skip = b.conv2d(x, block.conv2, relu=True, out=merged[e].slice(widths[e], 2 * widths[e]),
+                        name=f"encoders.{e}.conv.conv2")
         x = b.maxpool(skip, encoder.pool.pool_size)
 
-    x = b.conv2d(x, model.bottleneck.conv1, relu=True)
-    x = b.conv2d(x, model.bottleneck.conv2, relu=True)
+    x = b.conv2d(x, model.bottleneck.conv1, relu=True, name="bottleneck.conv1")
+    x = b.conv2d(x, model.bottleneck.conv2, relu=True, name="bottleneck.conv2")
 
     for j, decoder in enumerate(model.decoders):
         e = cfg.depth - 1 - j
         up = b.upsample_pad(x)
-        b.conv2d(up, decoder.upconv.conv, relu=False, out=merged[e].slice(0, widths[e]))
-        x = b.conv2d(merged[e], decoder.conv.conv1, relu=True)
-        x = b.conv2d(x, decoder.conv.conv2, relu=True)
+        b.conv2d(up, decoder.upconv.conv, relu=False, out=merged[e].slice(0, widths[e]),
+                 name=f"decoders.{j}.upconv.conv")
+        x = b.conv2d(merged[e], decoder.conv.conv1, relu=True, name=f"decoders.{j}.conv.conv1")
+        x = b.conv2d(x, decoder.conv.conv2, relu=True, name=f"decoders.{j}.conv.conv2")
 
-    logits = b.conv2d(x, model.head, relu=False)
+    logits = b.conv2d(x, model.head, relu=False, name="head")
     b.softmax_output(logits)
     return b.finalize()
 
@@ -88,17 +118,26 @@ class CompiledUNet:
     serialised by the plan's lock, distinct shapes run in parallel.
     """
 
-    def __init__(self, model: UNet, max_plans: int = 8):
+    def __init__(self, model: UNet, max_plans: int = 8, packed_weights: dict | None = None):
         if not isinstance(model, UNet):
             raise TypeError(f"CompiledUNet requires a UNet, got {type(model).__name__}")
         self.model = model
         self.max_plans = int(max_plans)
-        self._cache = PlanCache(lambda shape: compile_unet_plan(model, shape), max_plans=max_plans)
+        self._cache = PlanCache(
+            lambda shape: compile_unet_plan(model, shape, packed_weights=packed_weights),
+            max_plans=max_plans,
+        )
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """Class probabilities ``(N, K, H, W)`` through the compiled plan."""
+    def predict_proba(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Class probabilities ``(N, K, H, W)`` through the compiled plan.
+
+        ``out`` routes the final softmax into a caller-provided float32
+        buffer (bit-identical values, zero output allocation) — the seam the
+        shared-memory backend workers use to write straight into a shared
+        output arena.
+        """
         x = np.asarray(x, dtype=np.float32)
-        return self._cache.get(x.shape).run(x)
+        return self._cache.get(x.shape).run(x, out=out)
 
     def warm(self, input_shape: tuple[int, ...]) -> CompiledPlan:
         """Pre-compile (and cache) the plan for ``input_shape``."""

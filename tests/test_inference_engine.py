@@ -73,6 +73,30 @@ class TestInferenceConfig:
         with pytest.raises(ValueError):
             InferenceConfig.from_dict({"tile_size": 32, "overlap": 32})
 
+    def test_backend_key_round_trips(self):
+        config = InferenceConfig(backend="thread", num_workers=3)
+        data = config.to_dict()
+        assert data["backend"] == "thread"
+        assert InferenceConfig.from_dict(data) == config
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            InferenceConfig(backend="gpu")
+
+    def test_fork_backend_rejected_at_config_time_without_fork(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setattr("repro.backend.base._fork_available", lambda: False)
+        with pytest.raises(ValueError, match="fork"):
+            InferenceConfig(backend="fork")
+        # ... while "auto" quietly degrades instead of failing.
+        config = InferenceConfig(backend="auto", num_workers=4)
+        assert config.resolved_backend() == "serial"
+
+    def test_resolved_backend_heuristic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert InferenceConfig().resolved_backend() == "serial"
+        assert InferenceConfig(backend="serial", num_workers=8).resolved_backend() == "serial"
+
 
 class TestPredictTiles:
     def test_empty_stack_returns_empty_map(self, engine_model):

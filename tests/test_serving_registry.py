@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -255,3 +257,66 @@ class TestWarmEvictionPolicy:
         classifier = registry.classifier("seaice")
         info = classifier.plan_cache_info()
         assert info is not None and info["plans"] == 1  # (1, C, 16, 16) pre-compiled
+
+
+class TestIdempotentRetirement:
+    """A hot-swap and an LRU eviction racing over the same warm key must
+    retire it exactly once (listeners fired once, classifier closed once)."""
+
+    _tiny = InferenceConfig(tile_size=8, apply_cloud_filter=False)
+
+    def test_double_claim_under_lock_wins_once(self, tmp_path, small_model):
+        registry = _publish(tmp_path, small_model, inference=self._tiny)
+        registry.classifier("seaice")
+        key = ("seaice", 1)
+        first: list = []
+        second: list = []
+        with registry._lock:
+            entry = registry._warm[key]
+            registry._claim_retirement(key, first)
+            registry._claim_retirement(key, second)  # the loser claims nothing
+        assert first == [(key, entry)]
+        assert second == []
+        assert entry.retired
+
+    def test_racing_retirement_paths_notify_exactly_once(self, tmp_path, small_model):
+        registry = _publish(tmp_path, small_model, inference=self._tiny)
+        registry.max_warm = 1
+        other = UNet(UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=3))
+        registry.publish("other", 1, other, inference=self._tiny)
+        registry.classifier("seaice")  # warm ("seaice", 1): the contended key
+
+        entry = registry._warm[("seaice", 1)]
+        close_calls: list[int] = []
+        original_close = entry.classifier.close
+
+        def counting_close() -> None:
+            close_calls.append(1)
+            original_close()
+
+        entry.classifier.close = counting_close
+        registry.publish("seaice", 2, small_model, inference=self._tiny)
+        notified: list[tuple[str, int]] = []
+        registry.add_evict_listener(notified.append)
+
+        # Thread A retires v1 via the version hot-swap; thread B retires the
+        # LRU entry (the same key) via the max_warm cap — at the same time.
+        barrier = threading.Barrier(2)
+
+        def hot_swap() -> None:
+            barrier.wait()
+            registry.classifier("seaice")
+
+        def lru_evict() -> None:
+            barrier.wait()
+            registry.classifier("other")
+
+        threads = [threading.Thread(target=hot_swap), threading.Thread(target=lru_evict)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert notified.count(("seaice", 1)) == 1
+        assert len(close_calls) == 1
+        assert ("seaice", 1) not in registry._warm
