@@ -37,6 +37,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..reliability import Deadline
+
 __all__ = [
     "Backend",
     "BackendError",
@@ -187,11 +189,18 @@ class Backend(ABC):
         """Whether ``key`` is currently published."""
 
     @abstractmethod
-    def predict(self, key, batch: np.ndarray) -> np.ndarray:
-        """Probability maps ``(N, K, H, W)`` for one ``(N, H, W, 3)`` batch."""
+    def predict(self, key, batch: np.ndarray, deadline: Deadline | None = None) -> np.ndarray:
+        """Probability maps ``(N, K, H, W)`` for one ``(N, H, W, 3)`` batch.
+
+        ``deadline`` bounds the wait: every backend checks it *before*
+        computing (expired work raises
+        :class:`~repro.reliability.DeadlineExceeded` instead of burning a
+        worker on a result nobody is waiting for).
+        """
 
     def predict_stack(
-        self, key, stack: np.ndarray, batch_size: int, copy: bool = True
+        self, key, stack: np.ndarray, batch_size: int, copy: bool = True,
+        deadline: Deadline | None = None,
     ) -> np.ndarray:
         """Predict a whole ``(N, H, W, 3)`` stack in ``batch_size`` batches.
 
@@ -199,13 +208,15 @@ class Backend(ABC):
         ``copy=False`` a backend may return a reusable internal buffer that
         is only valid until the next ``predict_stack`` call for the same key
         and shape — callers must consume (or copy) it before dispatching
-        again.
+        again.  ``deadline`` is re-checked before every batch, so an expired
+        request stops dispatching mid-stack.
         """
         self._ensure_open()
-        outputs = [
-            self.predict(key, stack[start : start + batch_size])
-            for start in range(0, stack.shape[0], batch_size)
-        ]
+        outputs = []
+        for start in range(0, stack.shape[0], batch_size):
+            if deadline is not None:
+                deadline.check("backend predict_stack")
+            outputs.append(self.predict(key, stack[start : start + batch_size]))
         return np.concatenate(outputs, axis=0)
 
     # ------------------------------------------------------------------ #

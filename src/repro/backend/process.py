@@ -20,9 +20,16 @@ through a pipe.  This backend removes all three costs structurally:
   is cached per ``(key, stack shape)`` and reused across scenes, so the
   steady state allocates nothing and concatenates nothing.
 
-Workers that die (crash, kill -9) surface as :class:`BackendError` on the
-in-flight call and are respawned — with their models republished from the
-store — on the next dispatch.
+Workers that fail are handled, not propagated: a dead pipe or a dispatch
+that blows its per-op timeout (``dispatch_timeout_s``, env
+``REPRO_DISPATCH_TIMEOUT_S``) kills the worker, and the idempotent predict
+ops are retried on another worker with capped exponential backoff — a
+prediction span writes only its own slice of the shared output arena, so
+re-running it is safe.  A background watchdog heartbeats idle workers
+(``heartbeat_interval_s``, env ``REPRO_HEARTBEAT_S``) and respawns hung or
+dead ones — with their models republished from the store — before the next
+dispatch ever lands on them.  Only after retries exhaust does the caller
+see a :class:`BackendError`.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..reliability import Deadline, RetryPolicy, fault_point
 from .base import Backend, BackendError, ModelHandle, _default_chunk_size
 from .store import (
     SharedModelStore,
@@ -46,7 +54,30 @@ from .store import (
     ndarray_view,
 )
 
-__all__ = ["ProcessBackend"]
+__all__ = ["ProcessBackend", "WorkerLost"]
+
+#: Environment overrides for the reliability knobs (CI's chaos arm tightens
+#: them; ``<= 0`` disables the mechanism).
+DISPATCH_TIMEOUT_ENV_VAR = "REPRO_DISPATCH_TIMEOUT_S"
+HEARTBEAT_ENV_VAR = "REPRO_HEARTBEAT_S"
+
+_DEFAULT_DISPATCH_TIMEOUT_S = 30.0
+_DEFAULT_HEARTBEAT_S = 2.0
+_PING_TIMEOUT_S = 5.0
+
+
+class WorkerLost(BackendError):
+    """A worker crashed or hung mid-dispatch (retryable for predict ops)."""
+
+
+def _env_float(var: str, default: float) -> float:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
 
 
 def _cpu_count() -> int:
@@ -107,6 +138,8 @@ def _worker_main(conn, siblings=()) -> None:
                 elif op == "predict_span":
                     key, in_name, in_shape, in_dtype, out_name, out_shape, start, stop = msg[1:]
                     entry = models[key]
+                    fault_point("worker_crash")
+                    fault_point("worker_hang")
                     src = _worker_get_view(segments, in_name, in_shape,
                                            np.dtype(in_dtype), writeable=False)
                     dst = _worker_get_view(segments, out_name, out_shape,
@@ -115,7 +148,11 @@ def _worker_main(conn, siblings=()) -> None:
                     conn.send(("ok", None))
                 elif op == "predict_batch":
                     key, batch = msg[1:]
+                    fault_point("worker_crash")
+                    fault_point("worker_hang")
                     conn.send(("ok", models[key].predict(batch)))
+                elif op == "ping":
+                    conn.send(("ok", os.getpid()))
                 elif op == "warm":
                     key, shape = msg[1:]
                     models[key].warm(shape)
@@ -158,32 +195,64 @@ class _Worker:
         child_conn.close()
         self.dead = False
 
-    def call(self, *msg):
-        """One request/response round trip; a broken pipe marks the worker dead."""
+    def call(self, *msg, timeout: float | None = None):
+        """One request/response round trip; a broken pipe marks the worker dead.
+
+        ``timeout`` bounds the wait for the reply: a worker that does not
+        answer in time is presumed hung, killed on the spot (its model state
+        is all re-creatable from the shared store) and reported as
+        :class:`WorkerLost` so idempotent ops can retry elsewhere.
+        """
         try:
             self.conn.send(msg)
+            if timeout is not None and not self.conn.poll(timeout):
+                self.kill()
+                raise WorkerLost(
+                    f"backend worker (pid {self.process.pid}) hung during {msg[0]!r} "
+                    f"(no reply within {timeout:.1f}s); killed"
+                )
             status, payload = self.conn.recv()
         except (EOFError, OSError, BrokenPipeError) as exc:
             self.dead = True
-            raise BackendError(
+            raise WorkerLost(
                 f"backend worker (pid {self.process.pid}) died during {msg[0]!r}: {exc!r}"
             ) from exc
         if status != "ok":
             raise BackendError(f"backend worker task {msg[0]!r} failed: {payload}")
         return payload
 
+    def kill(self) -> None:
+        """Hard-kill the worker (SIGKILL); used for hung processes."""
+        self.dead = True
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(1.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def stop(self, timeout: float = 2.0) -> None:
         if not self.dead and self.process.is_alive():
             try:
                 self.conn.send(("stop",))
-                self.conn.recv()
+                # A hung worker never acknowledges; poll instead of a blind
+                # recv() so shutdown cannot wedge behind it.
+                if self.conn.poll(timeout):
+                    self.conn.recv()
             except (EOFError, OSError, BrokenPipeError):
                 pass
         self.process.join(timeout)
-        if self.process.is_alive():  # pragma: no cover - defensive
+        if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout)
-        self.conn.close()
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.kill()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
 
 class _IOSegments:
@@ -216,12 +285,25 @@ class ProcessBackend(Backend):
 
     name = "fork"
 
-    def __init__(self, num_workers: int = 2, start_method: str = "fork") -> None:
+    def __init__(self, num_workers: int = 2, start_method: str = "fork", *,
+                 dispatch_timeout_s: float | None = None,
+                 heartbeat_interval_s: float | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         super().__init__(num_workers=num_workers)
         if start_method not in mp.get_all_start_methods():
             raise ValueError(f"start method {start_method!r} is not available on this platform")
         self._ctx = mp.get_context(start_method)
         self.start_method = start_method
+        if dispatch_timeout_s is None:
+            dispatch_timeout_s = _env_float(DISPATCH_TIMEOUT_ENV_VAR,
+                                            _DEFAULT_DISPATCH_TIMEOUT_S)
+        if heartbeat_interval_s is None:
+            heartbeat_interval_s = _env_float(HEARTBEAT_ENV_VAR, _DEFAULT_HEARTBEAT_S)
+        #: per-dispatch reply deadline for predict ops; <= 0 disables
+        self.dispatch_timeout_s = dispatch_timeout_s if dispatch_timeout_s > 0 else None
+        #: idle-worker heartbeat period; <= 0 disables the watchdog
+        self.heartbeat_interval_s = heartbeat_interval_s if heartbeat_interval_s > 0 else None
+        self.retry = retry if retry is not None else RetryPolicy()
         self._store = SharedModelStore()
         self._handles: dict[object, ModelHandle] = {}
         self._workers: list[_Worker] = []
@@ -235,6 +317,10 @@ class ProcessBackend(Backend):
         self._io_lock = threading.Lock()
         self._busy = 0
         self._busy_lock = threading.Lock()
+        self._respawns = 0
+        self._retries = 0
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -263,8 +349,19 @@ class ProcessBackend(Backend):
         self._dispatcher = ThreadPoolExecutor(
             max_workers=inflight, thread_name_prefix="repro-backend-dispatch"
         )
+        if self.heartbeat_interval_s is not None:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="repro-backend-watchdog", daemon=True
+            )
+            self._watchdog.start()
 
     def _close(self) -> None:
+        # Watchdog first, or it would respawn the workers being stopped.
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2 * _PING_TIMEOUT_S)
+            self._watchdog = None
         if self._dispatcher is not None:
             self._dispatcher.shutdown(wait=True)
             self._dispatcher = None
@@ -301,23 +398,79 @@ class ProcessBackend(Backend):
             siblings=[w.conn for i, w in enumerate(self._workers) if i != index],
         )
         self._workers[index] = worker
+        self._respawns += 1
         for spec in self._store.specs():
             worker.call("publish", spec)
 
-    def _call(self, *msg):
+    def _watchdog_loop(self) -> None:
+        """Heartbeat idle workers; kill and respawn any that fail to answer.
+
+        Only *free* workers are pinged — a busy worker is covered by its
+        dispatch timeout, and checking out through the free-list means the
+        watchdog can never race a dispatcher for the same worker.
+        """
+        while not self._watchdog_stop.wait(self.heartbeat_interval_s):
+            indices = []
+            while True:
+                try:
+                    indices.append(self._free.get_nowait())
+                except queue.Empty:
+                    break
+            for index in indices:
+                if self._watchdog_stop.is_set():
+                    self._free.put(index)
+                    continue
+                worker = self._workers[index]
+                try:
+                    if worker.dead or not worker.process.is_alive():
+                        self._respawn(index)
+                    else:
+                        worker.call("ping", timeout=_PING_TIMEOUT_S)
+                except BackendError:
+                    try:
+                        self._respawn(index)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                finally:
+                    self._free.put(index)
+
+    def _call(self, *msg, timeout: float | None = None):
         """Run one request on any free worker (blocks while all are busy)."""
         self._ensure_open()
         index = self._checkout()
         with self._busy_lock:
             self._busy += 1
         try:
-            return self._workers[index].call(*msg)
+            return self._workers[index].call(*msg, timeout=timeout)
         finally:
             with self._busy_lock:
                 self._busy -= 1
             self._free.put(index)
         # A worker that died inside call() goes back on the free queue dead;
         # the next checkout respawns it with the store's models republished.
+
+    def _predict_call(self, *msg, deadline: Deadline | None = None):
+        """A `_call` that survives worker loss: kill, respawn, retry, backoff.
+
+        Predict ops are idempotent (a span writes only its own output
+        slice), so a lost worker just means the op runs again elsewhere.
+        Worker-side *errors* (``("err", …)`` replies) are not retried — the
+        worker is healthy and the failure is deterministic.  The deadline is
+        checked before every attempt so expired work never dispatches.
+        """
+        attempt = 0
+        while True:
+            if deadline is not None:
+                deadline.check("backend dispatch")
+            try:
+                return self._call(*msg, timeout=self.dispatch_timeout_s)
+            except WorkerLost:
+                if attempt >= self.retry.max_retries:
+                    raise
+                with self._busy_lock:
+                    self._retries += 1
+                self.retry.sleep(attempt, deadline)
+                attempt += 1
 
     def _broadcast(self, *msg) -> None:
         """Send one request to every live worker (best-effort, e.g. drops).
@@ -410,12 +563,13 @@ class ProcessBackend(Backend):
     # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
-    def predict(self, key, batch: np.ndarray) -> np.ndarray:
+    def predict(self, key, batch: np.ndarray, deadline: Deadline | None = None) -> np.ndarray:
         self._ensure_open()
         if key not in self._store:
             raise KeyError(key)
         self._count_task()
-        return self._call("predict_batch", key, np.ascontiguousarray(batch))
+        return self._predict_call("predict_batch", key, np.ascontiguousarray(batch),
+                                  deadline=deadline)
 
     def _io_for(self, key, stack: np.ndarray) -> tuple[_IOSegments, bool]:
         handle = self._handles[key]
@@ -432,7 +586,7 @@ class ProcessBackend(Backend):
         return seg, created
 
     def predict_stack(self, key, stack: np.ndarray, batch_size: int,
-                      copy: bool = True) -> np.ndarray:
+                      copy: bool = True, deadline: Deadline | None = None) -> np.ndarray:
         """Zero-pickle stack prediction through the shared I/O arenas.
 
         With ``copy=False`` the returned array is the shared output arena
@@ -441,6 +595,8 @@ class ProcessBackend(Backend):
         self._ensure_open()
         if key not in self._store:
             raise KeyError(key)
+        if deadline is not None:
+            deadline.check("backend predict_stack")
         stack = np.asarray(stack)
         if stack.shape[0] == 0:
             handle = self._handles[key]
@@ -459,16 +615,28 @@ class ProcessBackend(Backend):
                 self._broadcast("warm", key, shape)
         self._count_task(len(spans))
         in_name, out_name = seg.names
+        submit = self._dispatcher.submit
         futures = [
-            self._dispatcher.submit(
-                self._call, "predict_span", key,
-                in_name, seg.in_view.shape, seg.in_dtype,
-                out_name, seg.out_view.shape, start, stop,
+            submit(
+                lambda s=start, e=stop: self._predict_call(
+                    "predict_span", key,
+                    in_name, seg.in_view.shape, seg.in_dtype,
+                    out_name, seg.out_view.shape, s, e,
+                    deadline=deadline,
+                )
             )
             for start, stop in spans
         ]
+        # Drain every span before raising, so no in-flight worker is still
+        # writing into the shared arena when the caller sees the failure.
+        errors = []
         for future in futures:
-            future.result()
+            try:
+                future.result()
+            except Exception as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
         return np.array(seg.out_view) if copy else seg.out_view
 
     # ------------------------------------------------------------------ #
@@ -487,6 +655,14 @@ class ProcessBackend(Backend):
         info["alive_workers"] = sum(
             1 for w in self._workers if not w.dead and w.process.is_alive()
         )
+        info["worker_pids"] = [
+            w.process.pid for w in self._workers if not w.dead and w.process.is_alive()
+        ]
+        info["respawns"] = self._respawns
+        with self._busy_lock:
+            info["dispatch_retries"] = self._retries
+        info["dispatch_timeout_s"] = self.dispatch_timeout_s
+        info["heartbeat_interval_s"] = self.heartbeat_interval_s
         with self._io_lock:
             info["io_segments"] = 2 * len(self._io)
         return info

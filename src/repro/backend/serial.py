@@ -6,6 +6,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..reliability import Deadline
 from .base import Backend, LocalModelEntry, ModelHandle
 
 __all__ = ["SerialBackend"]
@@ -46,8 +47,10 @@ class SerialBackend(Backend):
     def has_model(self, key) -> bool:
         return key in self._models
 
-    def predict(self, key, batch: np.ndarray) -> np.ndarray:
+    def predict(self, key, batch: np.ndarray, deadline: Deadline | None = None) -> np.ndarray:
         self._ensure_open()
+        if deadline is not None:
+            deadline.check("backend predict")
         self._count_task()
         return self._models[key].predict(batch)
 

@@ -32,6 +32,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..reliability import fault_point
+
 __all__ = [
     "SEGMENT_PREFIX",
     "SharedArrayField",
@@ -75,6 +77,7 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
     crash).  So: attach plainly, never unregister from the attach side, and
     let the creating process's unlink do the single balanced unregister.
     """
+    fault_point("shm_attach_fail")
     return shared_memory.SharedMemory(name=name)
 
 

@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..reliability import Deadline
 from .base import Backend, LocalModelEntry, ModelHandle, _default_chunk_size
 
 __all__ = ["ThreadBackend"]
@@ -88,14 +89,16 @@ class ThreadBackend(Backend):
     def has_model(self, key) -> bool:
         return key in self._models
 
-    def predict(self, key, batch: np.ndarray) -> np.ndarray:
+    def predict(self, key, batch: np.ndarray, deadline: Deadline | None = None) -> np.ndarray:
         self._ensure_open()
         entry = self._models[key]
+        if deadline is not None:
+            deadline.check("backend predict")
         self._count_task()
         return self._pool.submit(self._run, entry.predict, batch).result()
 
     def predict_stack(self, key, stack: np.ndarray, batch_size: int,
-                      copy: bool = True) -> np.ndarray:
+                      copy: bool = True, deadline: Deadline | None = None) -> np.ndarray:
         """Batches run concurrently on the pool; results keep stack order.
 
         Bit-identical to serial: each batch is the same
@@ -108,6 +111,8 @@ class ThreadBackend(Backend):
         spans = [(start, min(start + batch_size, stack.shape[0]))
                  for start in range(0, stack.shape[0], batch_size)]
         self._count_task(len(spans))
+        if deadline is not None:
+            deadline.check("backend predict_stack")
         futures = [self._pool.submit(self._run, entry.predict, stack[a:b]) for a, b in spans]
         return np.concatenate([f.result() for f in futures], axis=0)
 

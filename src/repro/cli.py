@@ -212,6 +212,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             max_batch=args.max_batch,
             batch_window_s=args.batch_window_ms / 1e3,
+            request_timeout_s=args.request_timeout_ms / 1e3,
+            max_queue=args.max_queue if args.max_queue > 0 else None,
+            max_concurrent=args.max_concurrent if args.max_concurrent > 0 else None,
         ),
     )
     def announce(server) -> None:
@@ -386,6 +389,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU cap on warm models kept resident (default: unbounded)")
     p.add_argument("--batch-window-ms", type=float, default=5.0,
                    help="micro-batch flush deadline in milliseconds")
+    p.add_argument("--request-timeout-ms", type=float, default=60000.0,
+                   help="per-request deadline; expired work is dropped and answered 504")
+    p.add_argument("--max-queue", type=int, default=128,
+                   help="per-model batcher queue bound; past it requests shed with 503 "
+                        "(0 = unbounded)")
+    p.add_argument("--max-concurrent", type=int, default=64,
+                   help="service-wide in-flight /predict cap; past it requests shed "
+                        "with 503 + Retry-After (0 = unlimited)")
     p.add_argument("--inference-config", default=None,
                    help="JSON file of InferenceConfig settings overriding archive metadata")
     p.add_argument("--backend", choices=("auto", "serial", "thread", "fork"), default="auto",

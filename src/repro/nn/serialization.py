@@ -22,6 +22,7 @@ import zipfile
 
 import numpy as np
 
+from ..reliability import fault_point
 from .module import Module
 from .optimizers import Optimizer
 
@@ -56,9 +57,32 @@ def _open_archive(path: str):
     if not os.path.exists(path):
         raise FileNotFoundError(f"checkpoint not found: {path!r}")
     try:
+        fault_point("corrupt_archive_read")  # FaultInjected is an OSError
         return np.load(path, allow_pickle=False)
     except (zipfile.BadZipFile, ValueError, OSError) as exc:
         raise CheckpointError(f"corrupt or unreadable checkpoint archive {path!r}: {exc}") from exc
+
+
+def _atomic_savez(path: str, state: dict[str, np.ndarray]) -> None:
+    """Write a compressed archive to a temp file, then ``os.replace`` it in.
+
+    A crash (or a concurrent reader) mid-write therefore sees either the
+    previous archive or none — never a half-written ``.npz``.  The archive
+    is written through an open file object because ``np.savez_compressed``
+    silently appends ``.npz`` to string paths, which would break the temp
+    name.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp-{os.getpid():x}"
+    try:
+        with open(tmp_path, "wb") as stream:
+            np.savez_compressed(stream, **state)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
 
 
 def _metadata_entry(metadata: dict | None) -> dict[str, np.ndarray]:
@@ -83,10 +107,7 @@ def save_weights(module: Module, path: str | os.PathLike, metadata: dict | None 
         path = path + ".npz"
     state = dict(module.state_dict())
     state.update(_metadata_entry(metadata))
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    _atomic_savez(path, state)
     return path
 
 
@@ -112,10 +133,7 @@ def save_checkpoint(
     for key, value in optimizer.state_dict().items():
         state[_OPTIM_PREFIX + key] = np.asarray(value)
     state.update(_metadata_entry(metadata))
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    _atomic_savez(path, state)
     return path
 
 

@@ -1,0 +1,147 @@
+"""Per-model circuit breaker: fail fast instead of hammering a broken model.
+
+When a model keeps failing (corrupt weights after a bad publish, a backend
+whose workers die on every attach), every further request pays the full
+failure latency — worker respawns, retry backoff, dispatch timeouts — and
+occupies a concurrency slot that healthy models could use.  The breaker
+watches consecutive failures and, past ``failure_threshold``, *opens*:
+requests fail immediately with :class:`CircuitOpenError` (the serving layer
+maps it to 503 + ``Retry-After``).  After ``reset_timeout_s`` it goes
+*half-open* and lets a limited number of probe requests through; one
+success closes it again, one failure re-opens it for another full window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the target failed repeatedly and is quarantined."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) failure quarantine.
+
+    Thread-safe; the clock is injectable for tests.  ``half_open_probes``
+    bounds how many concurrent requests may probe a half-open breaker —
+    the rest fail fast until a probe reports back.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._total_failures = 0
+        self._times_opened = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._resolve_state()
+
+    def _resolve_state(self) -> str:
+        """Current state, promoting open → half-open once the window passed.
+
+        Must hold ``_lock``.
+        """
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = "half_open"
+            self._probes_in_flight = 0
+        return self._state
+
+    def check(self) -> None:
+        """Admit one request or raise :class:`CircuitOpenError`.
+
+        In the half-open state this *claims a probe slot*: the caller must
+        report back with :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._resolve_state()
+            if state == "closed":
+                return
+            if state == "half_open":
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return
+                raise CircuitOpenError(
+                    "circuit half-open: probe already in flight",
+                    retry_after_s=self.reset_timeout_s,
+                )
+            retry_after = max(
+                0.0, self.reset_timeout_s - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"circuit open after {self._consecutive_failures} consecutive failures",
+                retry_after_s=retry_after,
+            )
+
+    def record_cancelled(self) -> None:
+        """The admitted request ended with no verdict (caller timed out, was
+        shed downstream): release its half-open probe slot without moving the
+        breaker either way — a client giving up says nothing about model
+        health."""
+        with self._lock:
+            if self._resolve_state() == "half_open":
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._resolve_state()
+            if state == "half_open":
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._state = "closed"
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._resolve_state()
+            self._consecutive_failures += 1
+            self._total_failures += 1
+            if state == "half_open" or self._consecutive_failures >= self.failure_threshold:
+                if self._state != "open":
+                    self._times_opened += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probes_in_flight = 0
+
+    def to_dict(self) -> dict:
+        """Observability snapshot for ``/stats``."""
+        with self._lock:
+            state = self._resolve_state()
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "total_failures": self._total_failures,
+                "times_opened": self._times_opened,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+            }

@@ -10,6 +10,12 @@ Layering (stdlib + NumPy only):
   scenes larger than memory, bit-identical to the whole-scene engine.
 * :mod:`repro.serving.service` — JSON endpoints (``/healthz``, ``/models``,
   ``/predict``) over ``http.server``; ``repro-seaice serve`` is the CLI.
+
+Reliability (deadlines, load shedding, circuit breakers, fault injection)
+lives in :mod:`repro.reliability` and is threaded through every layer here:
+requests carry a :class:`~repro.reliability.Deadline` from the HTTP edge
+into backend dispatch, saturation sheds with 503 + ``Retry-After``, and
+expired work answers 504 with per-stage timings.
 """
 
 from .batching import BatcherStats, MicroBatcher, PendingPrediction

@@ -19,6 +19,7 @@ batches fill up and throughput rises; a lone request only ever waits
 
 from __future__ import annotations
 
+import inspect
 import queue
 import threading
 import time
@@ -26,6 +27,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+
+from ..reliability import Deadline, DeadlineExceeded, OverloadedError
 
 __all__ = ["BatcherStats", "MicroBatcher", "PendingPrediction"]
 
@@ -36,13 +39,15 @@ PredictFn = Callable[[np.ndarray], np.ndarray]
 class PendingPrediction:
     """Future-like handle for one submitted tile."""
 
-    __slots__ = ("tile", "_event", "_result", "_error")
+    __slots__ = ("tile", "deadline", "_event", "_result", "_error", "_cancelled")
 
-    def __init__(self, tile: np.ndarray) -> None:
+    def __init__(self, tile: np.ndarray, deadline: Deadline | None = None) -> None:
         self.tile = tile
+        self.deadline = deadline
         self._event = threading.Event()
         self._result: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._cancelled = False
 
     def _resolve(self, result: np.ndarray | None, error: BaseException | None = None) -> None:
         self._result = result
@@ -52,9 +57,26 @@ class PendingPrediction:
     def done(self) -> bool:
         return self._event.is_set()
 
+    def cancel(self) -> bool:
+        """Abandon the prediction: the flush drops it instead of computing it.
+
+        Returns whether the cancellation landed before a result did.  Without
+        this, a caller that times out leaves its tile queued — the batcher
+        still spends a full prediction on a result nobody will read.
+        """
+        if self._event.is_set():
+            return False
+        self._cancelled = True
+        return True
+
     def result(self, timeout: float | None = None) -> np.ndarray:
-        """Block until the prediction is available; re-raises worker errors."""
+        """Block until the prediction is available; re-raises worker errors.
+
+        A timed-out wait cancels the pending work on the way out, so the
+        batcher never computes for a caller that already gave up.
+        """
         if not self._event.wait(timeout):
+            self.cancel()
             raise TimeoutError(f"prediction not ready within {timeout}s")
         if self._error is not None:
             raise self._error
@@ -64,11 +86,16 @@ class PendingPrediction:
 
 @dataclass
 class BatcherStats:
-    """Counters for observing how well coalescing works."""
+    """Counters for observing how well coalescing (and shedding) works."""
 
     requests: int = 0
     batches: int = 0
     max_batch_size: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    shed: int = 0
+    queue_depth: int = 0
+    max_queue: int | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -80,6 +107,11 @@ class BatcherStats:
             "batches": self.batches,
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": round(self.mean_batch_size, 3),
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "shed": self.shed,
+            "queue_depth": self.queue_depth,
+            "max_queue": self.max_queue,
         }
 
 
@@ -105,19 +137,36 @@ class MicroBatcher:
         a compiled-plan engine behind ``predict_fn`` stays inside a handful
         of warm plans instead of recompiling (or thrashing its LRU cache)
         for every distinct queue depth.
+    max_queue:
+        Bound the request queue: past this many waiting tiles, ``submit``
+        sheds immediately with :class:`~repro.reliability.OverloadedError`
+        instead of queueing work that cannot finish in time.  ``None``
+        keeps the queue unbounded.
     """
 
     def __init__(self, predict_fn: PredictFn, max_batch: int = 8, max_delay_s: float = 0.005,
-                 bucket_batches: bool = False) -> None:
+                 bucket_batches: bool = False, max_queue: int | None = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be >= 0")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         self._predict_fn = predict_fn
+        # Forward per-batch deadlines only to predictors that understand them
+        # (the SceneClassifier seam does; a bare lambda in a test need not).
+        try:
+            self._fn_takes_deadline = "deadline" in inspect.signature(predict_fn).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+            self._fn_takes_deadline = False
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
         self.bucket_batches = bool(bucket_batches)
-        self._queue: queue.Queue[PendingPrediction | None] = queue.Queue()
+        self.max_queue = None if max_queue is None else int(max_queue)
+        # +1 slot keeps the close() sentinel enqueueable at high water.
+        self._queue: queue.Queue[PendingPrediction | None] = queue.Queue(
+            maxsize=0 if self.max_queue is None else self.max_queue + 1
+        )
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
         self._closed = threading.Event()
@@ -128,20 +177,37 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # Client side
     # ------------------------------------------------------------------ #
-    def submit(self, tile: np.ndarray) -> PendingPrediction:
-        """Enqueue one ``(H, W, 3)`` tile; returns a future for its probabilities."""
+    def submit(self, tile: np.ndarray, deadline: Deadline | None = None) -> PendingPrediction:
+        """Enqueue one ``(H, W, 3)`` tile; returns a future for its probabilities.
+
+        ``deadline`` rides along with the tile: entries that expire while
+        queued are dropped at flush time (the caller's ``result()`` raises
+        :class:`~repro.reliability.DeadlineExceeded`) instead of computed.
+        Raises :class:`~repro.reliability.OverloadedError` when the queue is
+        at ``max_queue``.
+        """
         if self._closed.is_set():
             raise RuntimeError("MicroBatcher is closed")
         arr = np.asarray(tile)
         if arr.ndim != 3 or arr.shape[-1] != 3:
             raise ValueError(f"expected one (H, W, 3) tile, got shape {arr.shape}")
-        pending = PendingPrediction(arr)
-        self._queue.put(pending)
+        pending = PendingPrediction(arr, deadline=deadline)
+        try:
+            if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+                raise queue.Full
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self._stats_lock:
+                self._stats.shed += 1
+            raise OverloadedError(
+                f"batcher queue full ({self.max_queue} tiles waiting); request shed"
+            ) from None
         return pending
 
     def predict(self, tile: np.ndarray, timeout: float | None = 60.0) -> np.ndarray:
         """Synchronous convenience: submit one tile and wait for its ``(K, H, W)`` map."""
-        return self.submit(tile).result(timeout)
+        deadline = Deadline(timeout) if timeout is not None else None
+        return self.submit(tile, deadline=deadline).result(timeout)
 
     def stats(self) -> BatcherStats:
         with self._stats_lock:
@@ -149,6 +215,11 @@ class MicroBatcher:
                 requests=self._stats.requests,
                 batches=self._stats.batches,
                 max_batch_size=self._stats.max_batch_size,
+                cancelled=self._stats.cancelled,
+                expired=self._stats.expired,
+                shed=self._stats.shed,
+                queue_depth=self._queue.qsize(),
+                max_queue=self.max_queue,
             )
 
     def close(self, timeout: float | None = 5.0) -> None:
@@ -161,7 +232,10 @@ class MicroBatcher:
         with self._close_lock:
             if not self._closed.is_set():
                 self._closed.set()
-                self._queue.put(None)
+                try:
+                    self._queue.put_nowait(None)
+                except queue.Full:  # pragma: no cover - bounded queue at limit
+                    pass  # the worker's closed-flag poll path still exits
         self._worker.join(timeout)
         # A submit() that raced past the closed-check may have enqueued behind
         # the shutdown sentinel; fail those immediately instead of letting the
@@ -217,12 +291,35 @@ class MicroBatcher:
                 return
 
     def _flush(self, batch: list[PendingPrediction]) -> None:
-        with self._stats_lock:
-            self._stats.requests += len(batch)
-            self._stats.batches += 1
-            self._stats.max_batch_size = max(self._stats.max_batch_size, len(batch))
-        groups: dict[tuple[int, ...], list[PendingPrediction]] = {}
+        # Shed dead weight before compute: entries whose caller cancelled
+        # (timed out and left) or whose deadline expired while queued would
+        # burn a full prediction on a result nobody reads.
+        live: list[PendingPrediction] = []
+        cancelled = 0
+        expired = 0
         for pending in batch:
+            if pending._cancelled:
+                cancelled += 1
+                pending._resolve(None, RuntimeError("prediction cancelled by caller"))
+            elif pending.deadline is not None and pending.deadline.expired:
+                expired += 1
+                try:
+                    pending.deadline.check("batch queue")
+                except DeadlineExceeded as exc:
+                    pending._resolve(None, exc)
+            else:
+                live.append(pending)
+        with self._stats_lock:
+            self._stats.cancelled += cancelled
+            self._stats.expired += expired
+            if live:
+                self._stats.requests += len(live)
+                self._stats.batches += 1
+                self._stats.max_batch_size = max(self._stats.max_batch_size, len(live))
+        if not live:
+            return
+        groups: dict[tuple[int, ...], list[PendingPrediction]] = {}
+        for pending in live:
             groups.setdefault(pending.tile.shape, []).append(pending)
         for group in groups.values():
             try:
@@ -232,7 +329,20 @@ class MicroBatcher:
                     target = min(1 << (len(tiles) - 1).bit_length(), self.max_batch)
                     tiles = tiles + [tiles[-1]] * (target - len(tiles))
                 stack = np.stack(tiles)
-                probs = self._predict_fn(stack)
+                if self._fn_takes_deadline:
+                    # The batch must finish for its longest-lived entry, so
+                    # the *latest* expiry governs; any unbounded entry makes
+                    # the whole batch unbounded.
+                    deadlines = [p.deadline for p in group]
+                    batch_deadline = None
+                    if all(d is not None for d in deadlines):
+                        batch_deadline = max(
+                            deadlines,
+                            key=lambda d: (d.expires_at is None, d.expires_at or 0.0),
+                        )
+                    probs = self._predict_fn(stack, deadline=batch_deadline)
+                else:
+                    probs = self._predict_fn(stack)
                 if probs.shape[0] != target:
                     raise RuntimeError(
                         f"predict_fn returned {probs.shape[0]} maps for {target} tiles"

@@ -25,12 +25,14 @@ reload it from the archive alone.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import threading
 from dataclasses import asdict, dataclass, field
 
 from ..nn.optimizers import Optimizer
+from ..reliability import CircuitBreaker
 from ..nn.serialization import (
     CheckpointError,
     load_model_state,
@@ -43,6 +45,8 @@ from ..unet import InferenceConfig, SceneClassifier, UNet, UNetConfig
 __all__ = ["ModelRecord", "ModelRegistry"]
 
 _VERSION_RE = re.compile(r"^v?(\d+)\.npz$")
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -102,11 +106,19 @@ class ModelRegistry:
     root: str | None = None
     inference: InferenceConfig | None = None
     max_warm: int | None = None
+    #: consecutive failures before a model's circuit breaker opens
+    breaker_failure_threshold: int = 5
+    #: seconds an open breaker waits before letting a probe request through
+    breaker_reset_s: float = 30.0
     _records: dict[str, dict[int, ModelRecord]] = field(default_factory=dict, repr=False)
     _explicit: dict[str, dict[int, ModelRecord]] = field(default_factory=dict, repr=False)
     _warm: dict[tuple[str, int], _WarmEntry] = field(default_factory=dict, repr=False)
     _evict_listeners: list = field(default_factory=list, repr=False)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    #: corrupt archives quarantined as {path: mtime_ns}; a rewritten file
+    #: (different mtime) gets retried on the next lookup
+    _quarantined: dict[str, int] = field(default_factory=dict, repr=False)
+    _breakers: dict[tuple[str, int], CircuitBreaker] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_warm is not None and self.max_warm < 1:
@@ -264,8 +276,37 @@ class ModelRegistry:
         versions of the same model (a pinned older version is reloaded on
         demand), and ``max_warm`` retires the least recently served entries
         beyond the cap.
+
+        An unversioned lookup *degrades gracefully*: when the newest archive
+        is corrupt or half-written (a bad publish mid-rescan), it is
+        quarantined with a warning and the next-newest serviceable version
+        keeps serving — a broken rollout must not take down a model that was
+        healthy a moment ago.  The quarantine is keyed on the file's mtime,
+        so re-publishing the archive gets it retried.  Pinned-version lookups
+        still raise :class:`CheckpointError`, since the caller asked for that
+        exact file.
         """
-        record = self.record(name, version)
+        if version is not None:
+            return self._classifier_for(self.record(name, version))
+        candidates = self._records_snapshot(name, rescan=True)
+        last_error: Exception | None = None
+        for _version, record in sorted(candidates.items(), reverse=True):
+            if self._is_quarantined(record):
+                continue
+            try:
+                return self._classifier_for(record)
+            except CheckpointError as exc:
+                last_error = exc
+                self._quarantine(record, exc)
+        if last_error is not None:
+            raise last_error
+        raise CheckpointError(
+            f"every registered version of model {name!r} is quarantined as corrupt: "
+            f"{sorted(candidates)}"
+        )
+
+    def _classifier_for(self, record: ModelRecord) -> SceneClassifier:
+        """Warm (or return the warm) classifier for one resolved record."""
         key = (record.name, record.version)
         with self._lock:
             entry = self._warm.get(key)
@@ -293,6 +334,75 @@ class ModelRegistry:
         for evicted_key, evicted_entry in evicted:
             self._finish_retirement(evicted_key, evicted_entry, listeners)
         return entry.classifier
+
+    # ------------------------------------------------------------------ #
+    # Corrupt-archive quarantine
+    # ------------------------------------------------------------------ #
+    def _quarantine(self, record: ModelRecord, error: Exception) -> None:
+        try:
+            mtime = os.stat(record.path).st_mtime_ns
+        except OSError:
+            mtime = -1
+        with self._lock:
+            self._quarantined[record.path] = mtime
+        logger.warning(
+            "quarantining corrupt archive %r (model %r version %s): %s; "
+            "falling back to an earlier serviceable version",
+            record.path, record.name, record.version, error,
+        )
+
+    def _is_quarantined(self, record: ModelRecord) -> bool:
+        with self._lock:
+            marked = self._quarantined.get(record.path)
+        if marked is None:
+            return False
+        try:
+            mtime = os.stat(record.path).st_mtime_ns
+        except OSError:
+            return True  # vanished: nothing to retry yet
+        if mtime != marked:
+            # Rewritten since it was quarantined — give it another chance.
+            with self._lock:
+                self._quarantined.pop(record.path, None)
+            return False
+        return True
+
+    def quarantined_paths(self) -> list[str]:
+        """Archive paths currently quarantined as corrupt (observability)."""
+        with self._lock:
+            return sorted(self._quarantined)
+
+    # ------------------------------------------------------------------ #
+    # Circuit breakers
+    # ------------------------------------------------------------------ #
+    def breaker(self, name: str, version: int) -> CircuitBreaker:
+        """The per-``(name, version)`` circuit breaker (created on first use)."""
+        key = (name, int(version))
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_failure_threshold,
+                    reset_timeout_s=self.breaker_reset_s,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def breakers(self) -> dict[tuple[str, int], CircuitBreaker]:
+        """Snapshot of every breaker created so far (``/stats``)."""
+        with self._lock:
+            return dict(self._breakers)
+
+    def close(self) -> None:
+        """Retire every warm classifier (backends shut down, shm released)."""
+        with self._lock:
+            entries = list(self._warm.items())
+            self._warm.clear()
+            for _key, entry in entries:
+                entry.retired = True
+            listeners = list(self._evict_listeners)
+        for key, entry in entries:
+            self._finish_retirement(key, entry, listeners)
 
     def _claim_retirement(
         self, key: tuple[str, int], claimed: list[tuple[tuple[str, int], _WarmEntry]]

@@ -23,6 +23,7 @@ map when ``"proba": true``.
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -30,6 +31,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..reliability import (
+    AdmissionController,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    OverloadedError,
+    faults_enabled,
+)
 from .batching import MicroBatcher
 from .registry import ModelRegistry
 
@@ -43,6 +52,13 @@ class ServiceConfig:
     ``bucket_batches`` (default on) makes every micro-batcher pad flushed
     batches up to power-of-two sizes, pinning the compiled-plan engine to a
     fixed set of batch shapes per tile shape.
+
+    ``request_timeout_s`` is also the request *deadline*: it is pinned at the
+    HTTP edge and propagated through the batcher queue into backend dispatch,
+    so expired work is dropped at every stage instead of computed (HTTP 504).
+    ``max_queue`` bounds each micro-batcher's queue and ``max_concurrent``
+    caps in-flight ``/predict`` requests service-wide — past either high-water
+    mark the request is shed immediately (HTTP 503 + ``Retry-After``).
     """
 
     host: str = "127.0.0.1"
@@ -51,6 +67,9 @@ class ServiceConfig:
     batch_window_s: float = 0.005
     request_timeout_s: float = 60.0
     bucket_batches: bool = True
+    max_queue: int | None = 128
+    max_concurrent: int | None = 64
+    retry_after_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -59,6 +78,12 @@ class ServiceConfig:
             raise ValueError("batch_window_s must be >= 0")
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be > 0")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1 (or None for unlimited)")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
 
 
 class InferenceService:
@@ -68,22 +93,40 @@ class InferenceService:
         self.registry = registry
         self.config = config or ServiceConfig()
         self.started_at = time.time()
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            retry_after_s=self.config.retry_after_s,
+        )
         self._batchers: dict[tuple[str, int], MicroBatcher] = {}
         self._lock = threading.Lock()
         self._requests = 0
         self._tiles = 0
+        self._expired = 0  # requests answered 504 (deadline exceeded)
         # Warm-model eviction (LRU cap or version hot-swap) retires the
         # evicted entry's micro-batcher — and with it the pinned plans.
         registry.add_evict_listener(self._on_warm_evicted)
 
     # ------------------------------------------------------------------ #
     def health(self) -> dict:
+        degraded = []
+        if self.admission.recently_shed():
+            degraded.append("shedding load")
+        open_breakers = [
+            f"{name}/{version}"
+            for (name, version), breaker in self.registry.breakers().items()
+            if breaker.state != "closed"
+        ]
+        if open_breakers:
+            degraded.append(f"circuit open: {', '.join(sorted(open_breakers))}")
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
+            "degraded_reasons": degraded,
             "uptime_s": round(time.time() - self.started_at, 3),
             "models": sorted(self.registry.models()),
             "requests": self._requests,
             "tiles": self._tiles,
+            "shed": self.admission.shed,
+            "expired": self._expired,
         }
 
     def models_payload(self) -> dict:
@@ -130,6 +173,7 @@ class InferenceService:
             max_batch=self.config.max_batch,
             max_delay_s=self.config.batch_window_s,
             bucket_batches=self.config.bucket_batches,
+            max_queue=self.config.max_queue,
         )
         retired: list[MicroBatcher] = []
         with self._lock:
@@ -167,9 +211,46 @@ class InferenceService:
         version = body.get("version")
         return_proba = bool(body.get("proba", False))
         start = time.perf_counter()
-        batcher, (name, resolved_version) = self._batcher(name, version)
-        pending = [batcher.submit(tile) for tile in stack]
-        probs = np.stack([p.result(self.config.request_timeout_s) for p in pending])
+        deadline = Deadline(self.config.request_timeout_s)
+        with self.admission.acquire():
+            batcher, (name, resolved_version) = self._batcher(name, version)
+            resolve_ms = deadline.elapsed_s() * 1e3
+            breaker = self.registry.breaker(name, resolved_version)
+            breaker.check()
+            pending = []
+            queued_ms: float | None = None
+            try:
+                pending = [batcher.submit(tile, deadline=deadline) for tile in stack]
+                queued_ms = deadline.elapsed_s() * 1e3 - resolve_ms
+                probs = np.stack([p.result(deadline.remaining()) for p in pending])
+            except (DeadlineExceeded, TimeoutError) as exc:
+                # The client's budget ran out — drop whatever is still queued
+                # and report where the time went.  Not a breaker failure: a
+                # timeout says nothing about the model's health.
+                for p in pending:
+                    p.cancel()
+                breaker.record_cancelled()
+                with self._lock:
+                    self._expired += 1
+                if not isinstance(exc, DeadlineExceeded):
+                    exc = DeadlineExceeded(str(exc), stage="await result")
+                exc.stage_timings = {
+                    "resolve_ms": round(resolve_ms, 3),
+                    "submit_ms": None if queued_ms is None else round(queued_ms, 3),
+                    "total_ms": round(deadline.elapsed_s() * 1e3, 3),
+                    "budget_ms": round(self.config.request_timeout_s * 1e3, 3),
+                }
+                raise exc from None
+            except OverloadedError:
+                breaker.record_cancelled()  # shed, not a model failure
+                raise
+            except (ValueError, KeyError):
+                breaker.record_cancelled()  # client error, not a model failure
+                raise
+            except Exception:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
         class_maps = probs.argmax(axis=1).astype(np.uint8)
         with self._lock:
             self._requests += 1
@@ -224,7 +305,8 @@ class InferenceService:
         return stats
 
     def stats_payload(self) -> dict:
-        """The ``/stats`` body: batcher counters, backend occupancy, warm models."""
+        """The ``/stats`` body: batcher counters, backend occupancy, warm
+        models, plus the reliability picture (admission, breakers, 504s)."""
         return {
             "batchers": self.batcher_stats(),
             "backends": self.backend_stats(),
@@ -232,6 +314,16 @@ class InferenceService:
                 "count": self.registry.warm_count(),
                 "max_warm": self.registry.max_warm,
                 "loaded": [f"{name}/{version}" for name, version in self.registry.loaded_versions()],
+            },
+            "reliability": {
+                "admission": self.admission.to_dict(),
+                "breakers": {
+                    f"{name}/{version}": breaker.to_dict()
+                    for (name, version), breaker in sorted(self.registry.breakers().items())
+                },
+                "expired_requests": self._expired,
+                "quarantined_archives": self.registry.quarantined_paths(),
+                "faults_enabled": faults_enabled(),
             },
         }
 
@@ -255,11 +347,14 @@ def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPReques
             if not quiet:
                 super().log_message(fmt, *args)
 
-        def _send_json(self, status: int, payload: dict) -> None:
+        def _send_json(self, status: int, payload: dict,
+                       headers: dict[str, str] | None = None) -> None:
             data = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(data)
 
@@ -291,8 +386,22 @@ def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPReques
                 # str(KeyError) wraps the message in repr quotes; unwrap it.
                 message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
                 self._send_json(400, {"error": message})
+            except (OverloadedError, CircuitOpenError) as exc:
+                # Shed: tell the client when it is worth coming back.
+                retry_after = max(0.001, exc.retry_after_s)
+                self._send_json(
+                    503,
+                    {"error": str(exc), "retry_after_s": round(retry_after, 3)},
+                    headers={"Retry-After": f"{retry_after:.3f}"},
+                )
+            except DeadlineExceeded as exc:
+                self._send_json(
+                    504,
+                    {"error": str(exc), "stage": exc.stage,
+                     "stage_timings": exc.stage_timings or {}},
+                )
             except TimeoutError as exc:
-                self._send_json(503, {"error": str(exc)})
+                self._send_json(504, {"error": str(exc), "stage": "", "stage_timings": {}})
             except Exception as exc:  # noqa: BLE001 - must answer the socket
                 self._send_json(500, {"error": str(exc)})
 
@@ -313,13 +422,32 @@ def make_server(
 
 
 def run_service(service: InferenceService, quiet: bool = False, on_ready=None) -> None:
-    """Blocking convenience runner used by the CLI (Ctrl-C to stop).
+    """Blocking convenience runner used by the CLI (Ctrl-C or SIGTERM to stop).
 
     ``on_ready(server)`` is called after the socket is bound but before
     requests are served — the CLI uses it to print the machine-readable
     ready line with the actual port (``--port 0`` binds an ephemeral one).
+
+    SIGTERM triggers a *graceful drain*: the listener stops accepting, every
+    in-flight handler thread is joined (``ThreadingHTTPServer`` defaults to
+    ``block_on_close``), the micro-batchers flush and close, and the
+    registry retires every warm classifier — shutting backends down and
+    releasing their shared-memory segments — before the process exits 0.
     """
+
     server = make_server(service, quiet=quiet)
+
+    def _drain(signum, frame):  # pragma: no cover - signal delivery timing
+        # shutdown() must not be called from the thread running
+        # serve_forever() (it would deadlock waiting on itself), and the
+        # signal handler runs on exactly that (main) thread.
+        threading.Thread(target=server.shutdown, name="serve-drain", daemon=True).start()
+
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _drain)
+    except ValueError:  # pragma: no cover - not on the main thread
+        previous_handler = None
     try:
         if on_ready is not None:
             on_ready(server)
@@ -327,5 +455,13 @@ def run_service(service: InferenceService, quiet: bool = False, on_ready=None) -
     except KeyboardInterrupt:
         pass
     finally:
+        if previous_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_handler)
+            except (ValueError, TypeError):  # pragma: no cover - defensive
+                pass
+        # server_close() joins the in-flight handler threads (drain), then
+        # the serving pieces release everything they own.
         server.server_close()
         service.close()
+        service.registry.close()

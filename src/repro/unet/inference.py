@@ -20,6 +20,7 @@ import numpy as np
 
 from ..backend.base import Backend, make_backend, resolve_backend_name
 from ..classes import NUM_CLASSES
+from ..reliability import Deadline, fault_point
 from ..cloudshadow import CloudShadowFilter
 from ..data.loader import image_to_tensor
 from ..imops.resize import assemble_from_tiles, split_into_tiles
@@ -177,6 +178,7 @@ def predict_batch_probabilities(
     ``(N, K, H, W)`` float32 buffer (e.g. a shared-memory output arena);
     when no padding is needed the compiled plan softmaxes directly into it.
     """
+    fault_point("slow_predict")  # chaos knob: every consumer funnels through here
     if engine is not None and model is None:
         model = engine.model
     if model is None:
@@ -426,13 +428,17 @@ class SceneClassifier:
         """Classify an already-tiled stack (honours ``config.backend``)."""
         return self._predict_stack(tiles).argmax(axis=1).astype(np.uint8)
 
-    def predict_batch(self, batch: np.ndarray) -> np.ndarray:
+    def predict_batch(self, batch: np.ndarray, deadline: Deadline | None = None) -> np.ndarray:
         """One batched prediction ``(N, H, W, 3) → (N, K, H, W)`` through the
         classifier's filter and compiled-plan engine — the seam the serving
         micro-batcher binds to.  With a non-serial config the batch is routed
-        to the classifier's backend workers (same seam, bit-identical)."""
+        to the classifier's backend workers (same seam, bit-identical).
+        ``deadline`` propagates into the backend dispatch, which drops
+        expired work before computing."""
         backend = self.backend
         if backend is not None:
-            return backend.predict(_SCENE_MODEL_KEY, np.asarray(batch))
+            return backend.predict(_SCENE_MODEL_KEY, np.asarray(batch), deadline=deadline)
+        if deadline is not None:
+            deadline.check("predict_batch")
         filt = self.cloud_filter if self.config.apply_cloud_filter else None
         return predict_batch_probabilities(batch, self.model, filt, engine=self._engine)

@@ -1,0 +1,268 @@
+"""Chaos suite: injected worker crashes / hangs against the fork backend, and
+overload / deadline storms against the HTTP service.
+
+The invariants under fault: results stay **bit-identical** to the serial
+backend (retried spans recompute the same slices), nothing leaks (no orphaned
+worker processes, no shared-memory segments after close), and the HTTP edge
+keeps answering — failures surface only as 503 (shed) or 504 (deadline), never
+as a wedged socket.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import ProcessBackend, SerialBackend, available_backends
+from repro.backend.store import SEGMENT_PREFIX
+from repro.reliability import FaultSpec, configure_faults, fault_stats, reset_faults
+from repro.serving import InferenceService, ModelRegistry, ServiceConfig, make_server
+from repro.unet import InferenceConfig, UNet, UNetConfig, tiny_unet_config
+
+fork_only = pytest.mark.skipif(
+    "fork" not in available_backends(), reason="fork start method unavailable"
+)
+
+
+def _segments() -> list[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return [name for name in os.listdir("/dev/shm") if name.startswith(SEGMENT_PREFIX)]
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, PermissionError):
+        return False
+    return True
+
+
+def _wait_until(predicate, timeout_s: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    yield
+    reset_faults()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return UNet(tiny_unet_config(seed=3))
+
+
+@pytest.fixture(scope="module")
+def stack():
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 256, size=(9, 32, 32, 3), dtype=np.uint8)
+
+
+@pytest.fixture(scope="module")
+def expected(model, stack):
+    with SerialBackend() as backend:
+        backend.publish_model("m", model)
+        return backend.predict_stack("m", stack, batch_size=4)
+
+
+@fork_only
+class TestBackendChaos:
+    def test_worker_crash_is_retried_bit_identical(self, model, stack, expected):
+        # Armed *before* the fork so workers inherit the (shared) budget.
+        configure_faults({"worker_crash": FaultSpec(times=1)})
+        before = _segments()
+        with ProcessBackend(num_workers=2, heartbeat_interval_s=0.0) as backend:
+            backend.publish_model("m", model)
+            probs = backend.predict_stack("m", stack, batch_size=4)
+            np.testing.assert_array_equal(probs, expected)
+            info = backend.occupancy()
+            assert info["dispatch_retries"] >= 1
+            assert fault_stats()["worker_crash"]["fired"] == 1
+            pids = info["worker_pids"]
+        assert _segments() == before
+        assert not any(_alive(pid) for pid in pids)
+
+    def test_hung_worker_killed_and_span_retried(self, model, stack, expected):
+        configure_faults({"worker_hang": FaultSpec(times=1, param=600.0)})
+        before = _segments()
+        with ProcessBackend(
+            num_workers=2, dispatch_timeout_s=1.0, heartbeat_interval_s=0.0
+        ) as backend:
+            backend.publish_model("m", model)
+            start = time.monotonic()
+            probs = backend.predict_stack("m", stack, batch_size=4)
+            # The hang was bounded by the dispatch timeout, not the 600 s sleep.
+            assert time.monotonic() - start < 30.0
+            np.testing.assert_array_equal(probs, expected)
+            info = backend.occupancy()
+            assert info["dispatch_retries"] >= 1
+            pids = info["worker_pids"]
+        assert _segments() == before
+        assert not any(_alive(pid) for pid in pids)
+
+    def test_watchdog_respawns_idle_dead_worker(self, model, stack, expected):
+        before = _segments()
+        with ProcessBackend(num_workers=2, heartbeat_interval_s=0.1) as backend:
+            backend.publish_model("m", model)
+            victim = backend.occupancy()["worker_pids"][0]
+            os.kill(victim, signal.SIGKILL)
+            assert _wait_until(
+                lambda: backend.occupancy()["respawns"] >= 1
+                and backend.occupancy()["alive_workers"] == 2
+            )
+            assert not _alive(victim)
+            # Respawned worker got the store republished: predictions intact.
+            probs = backend.predict_stack("m", stack, batch_size=4)
+            np.testing.assert_array_equal(probs, expected)
+            pids = backend.occupancy()["worker_pids"]
+        assert _segments() == before
+        assert not any(_alive(pid) for pid in pids)
+
+    def test_repeated_crashes_exhaust_retries_cleanly(self, model, stack):
+        # Unlimited crash budget: every attempt dies, the retry policy gives
+        # up, and the error is surfaced instead of hanging — with no leaks.
+        configure_faults({"worker_crash": FaultSpec(times=-1)})
+        before = _segments()
+        with ProcessBackend(num_workers=1, heartbeat_interval_s=0.0) as backend:
+            backend.publish_model("m", model)
+            with pytest.raises(Exception, match="died|killed"):
+                backend.predict_stack("m", stack, batch_size=4)
+        reset_faults()
+        assert _segments() == before
+
+
+def _request(port, method, path, body=None, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(method, path, body=None if body is None else json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), json.loads(response.read())
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def chaos_served(tmp_path):
+    """A deliberately tiny service: 1 concurrency slot, 2 queue slots, a
+    50 ms request deadline — so chaos tests can saturate it instantly."""
+    model = UNet(UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=21))
+    registry = ModelRegistry(str(tmp_path))
+    registry.publish("seaice", 1, model,
+                     inference=InferenceConfig(tile_size=16, apply_cloud_filter=False))
+    service = InferenceService(registry, ServiceConfig(
+        port=0, batch_window_s=0.0, max_batch=1,
+        request_timeout_s=0.05, max_queue=2, max_concurrent=1,
+        retry_after_s=0.25,
+    ))
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1], service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        registry.close()
+        thread.join(5.0)
+
+
+_TILE = np.zeros((16, 16, 3), dtype=np.uint8).tolist()
+
+
+class TestServiceChaos:
+    def test_slow_model_maps_deadline_to_504_with_timings(self, chaos_served):
+        port, _ = chaos_served
+        configure_faults({"slow_predict": FaultSpec(times=-1, param=0.3)})
+        status, _, body = _request(port, "POST", "/predict", {"tile": _TILE})
+        assert status == 504
+        assert "deadline" in body["error"] or "stage" in body
+        timings = body["stage_timings"]
+        assert timings["budget_ms"] == pytest.approx(50.0)
+        assert timings["total_ms"] >= 0.0
+        reset_faults()
+        # The wedged-looking service recovers as soon as the fault clears
+        # (the worker may still be draining the abandoned slow compute).
+        assert _wait_until(lambda: _request(
+            port, "POST", "/predict", {"tile": _TILE})[0] == 200, timeout_s=10.0)
+
+    def test_overload_storm_sheds_503_and_recovers(self, chaos_served):
+        port, service = chaos_served
+        configure_faults({"slow_predict": FaultSpec(times=-1, param=0.2)})
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            # The storm can reset a connection at the accept queue; retrying
+            # is the client's job — a wedged (never-answering) server would
+            # still fail the test via the 599 sentinel below.
+            for _ in range(3):
+                try:
+                    status, headers, body = _request(port, "POST", "/predict",
+                                                     {"tile": _TILE})
+                except OSError:
+                    time.sleep(0.1)
+                    continue
+                with lock:
+                    statuses.append(status)
+                    if status == 503:
+                        assert float(headers["Retry-After"]) > 0
+                        assert body["retry_after_s"] > 0
+                return
+            with lock:
+                statuses.append(599)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        # Every request was answered; failures are only shed/deadline.
+        assert len(statuses) == 8
+        assert set(statuses) <= {200, 503, 504}
+        assert 503 in statuses
+
+        # Shedding is visible in /healthz (degraded) and /stats.
+        status, _, health = _request(port, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "degraded"
+        assert any("shedding" in reason for reason in health["degraded_reasons"])
+        assert health["shed"] >= 1
+
+        status, _, stats = _request(port, "GET", "/stats")
+        reliability = stats["reliability"]
+        assert reliability["admission"]["shed"] + sum(
+            b["shed"] for b in stats["batchers"].values()
+        ) >= 1
+        assert reliability["faults_enabled"] is True
+        # Queues stayed bounded throughout the storm.
+        for batcher in stats["batchers"].values():
+            assert batcher["queue_depth"] <= batcher["max_queue"] == 2
+        assert reliability["admission"]["peak_active"] <= 1
+
+        reset_faults()
+        assert _wait_until(lambda: _request(
+            port, "POST", "/predict", {"tile": _TILE})[0] == 200, timeout_s=10.0)
+
+    def test_healthz_recovers_to_ok_after_quiet_period(self, chaos_served):
+        port, service = chaos_served
+        # No chaos at all: a fresh service is healthy and undegraded.
+        status, _, health = _request(port, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["degraded_reasons"] == []
+        assert health["shed"] == 0 and health["expired"] == 0

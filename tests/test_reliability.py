@@ -1,0 +1,417 @@
+"""Tests for the reliability substrate (deadlines, backpressure, breakers,
+retry, fault injection) and its integration into batching, the registry and
+checkpoint serialization."""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD
+from repro.nn.serialization import (
+    CheckpointError,
+    load_model_state,
+    save_checkpoint,
+    save_weights,
+)
+from repro.reliability import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjected,
+    FaultSpec,
+    OverloadedError,
+    RetryPolicy,
+    configure_faults,
+    fault_point,
+    fault_stats,
+    faults_enabled,
+    reset_faults,
+)
+from repro.reliability.faults import _parse_env
+from repro.serving import MicroBatcher, ModelRegistry
+from repro.unet import UNet, UNetConfig, tiny_unet_config
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    yield
+    reset_faults()
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired
+        assert deadline.remaining() is None
+        deadline.check("anywhere")  # never raises
+        assert Deadline.none().remaining() is None
+
+    def test_expires_and_check_raises_with_stage(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="stage 'dispatch'") as excinfo:
+            deadline.check("dispatch")
+        assert excinfo.value.stage == "dispatch"
+        assert isinstance(excinfo.value, TimeoutError)
+
+    def test_remaining_clamps_at_zero(self):
+        deadline = Deadline(0.0)
+        assert deadline.remaining() == 0.0
+        assert Deadline(60.0).remaining() > 59.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline(-1.0)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(max_retries=4, base_delay_s=0.1, max_delay_s=0.3)
+        assert policy.delay_s(0) == pytest.approx(0.1)
+        assert policy.delay_s(1) == pytest.approx(0.2)
+        assert policy.delay_s(2) == pytest.approx(0.3)  # capped
+        assert policy.delay_s(5) == pytest.approx(0.3)
+
+    def test_sleep_clipped_to_deadline(self):
+        policy = RetryPolicy(max_retries=1, base_delay_s=5.0, max_delay_s=5.0)
+        start = time.monotonic()
+        policy.sleep(0, deadline=Deadline(0.01))
+        assert time.monotonic() - start < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0,
+                                 clock=lambda: clock[0])
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.check()  # still closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError, match="3 consecutive failures") as excinfo:
+            breaker.check()
+        assert 0.0 < excinfo.value.retry_after_s <= 10.0
+
+    def test_half_open_probe_then_close_on_success(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.check()  # claims the probe slot
+        assert breaker.state == "half_open"
+        # Second concurrent request is held back while the probe is out.
+        with pytest.raises(CircuitOpenError, match="probe"):
+            breaker.check()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.check()
+
+    def test_half_open_failure_reopens_full_window(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.check()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.to_dict()["times_opened"] == 2
+
+    def test_record_cancelled_frees_probe_without_verdict(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.check()
+        breaker.record_cancelled()  # caller timed out — no verdict
+        assert breaker.state == "half_open"
+        breaker.check()  # slot is free again for the next probe
+
+    def test_to_dict_snapshot(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        snapshot = breaker.to_dict()
+        assert snapshot["state"] == "closed"
+        assert snapshot["consecutive_failures"] == 1
+        assert snapshot["total_failures"] == 1
+
+
+class TestAdmissionController:
+    def test_sheds_past_high_water_mark(self):
+        admission = AdmissionController(max_concurrent=2, retry_after_s=0.5)
+        with admission.acquire(), admission.acquire():
+            with pytest.raises(OverloadedError, match="shed") as excinfo:
+                with admission.acquire():
+                    pass  # pragma: no cover - never admitted
+            assert excinfo.value.retry_after_s == 0.5
+            assert admission.active == 2
+        assert admission.active == 0
+        stats = admission.to_dict()
+        assert stats["shed"] == 1 and stats["admitted"] == 2 and stats["peak_active"] == 2
+        assert admission.recently_shed()
+
+    def test_unlimited_mode_keeps_counters(self):
+        admission = AdmissionController(max_concurrent=None)
+        with admission.acquire():
+            pass
+        assert admission.to_dict()["admitted"] == 1
+        assert not admission.recently_shed()
+
+    def test_release_survives_body_exception(self):
+        admission = AdmissionController(max_concurrent=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            with admission.acquire():
+                raise RuntimeError("boom")
+        with admission.acquire():  # the slot came back
+            pass
+
+
+class TestFaultInjection:
+    def test_disarmed_fault_point_is_noop(self):
+        reset_faults()
+        assert not faults_enabled()
+        fault_point("shm_attach_fail")  # nothing raised
+
+    def test_raise_action_fires_exactly_budgeted_times(self):
+        configure_faults({"shm_attach_fail": FaultSpec(times=2)})
+        assert faults_enabled()
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                fault_point("shm_attach_fail")
+        fault_point("shm_attach_fail")  # budget exhausted → no-op
+        assert fault_stats()["shm_attach_fail"]["fired"] == 2
+
+    def test_sleep_action_uses_param(self):
+        configure_faults({"slow_predict": FaultSpec(times=1, param=0.05)})
+        start = time.monotonic()
+        fault_point("slow_predict")
+        assert time.monotonic() - start >= 0.05
+
+    def test_env_string_parsing(self):
+        specs = _parse_env("worker_crash,slow_predict:3:0.02, worker_hang:-1")
+        assert specs["worker_crash"] == FaultSpec(times=1, param=None)
+        assert specs["slow_predict"] == FaultSpec(times=3, param=0.02)
+        assert specs["worker_hang"] == FaultSpec(times=-1, param=None)
+
+    def test_unknown_fault_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            configure_faults({"meteor_strike": FaultSpec()})
+
+    def test_corrupt_archive_read_surfaces_as_checkpoint_error(self, tmp_path):
+        model = UNet(tiny_unet_config(seed=0))
+        path = save_weights(model, str(tmp_path / "w.npz"))
+        configure_faults({"corrupt_archive_read": FaultSpec(times=1)})
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_model_state(path)
+        # The injected failure is transient: the next read succeeds.
+        assert load_model_state(path)
+
+
+class TestBatcherReliability:
+    def test_timed_out_caller_cancels_and_flush_skips_it(self):
+        release = threading.Event()
+        computed = []
+
+        def predict_fn(stack):
+            release.wait(5.0)
+            computed.append(stack.shape[0])
+            return np.zeros((stack.shape[0], 3, *stack.shape[1:3]), dtype=np.float32)
+
+        tile = np.zeros((8, 8, 3), dtype=np.uint8)
+        with MicroBatcher(predict_fn, max_batch=4, max_delay_s=0.01) as batcher:
+            blocker = batcher.submit(tile)  # occupies the worker once flushed
+            time.sleep(0.05)
+            with pytest.raises(TimeoutError):
+                batcher.predict(tile, timeout=0.05)  # cancels on the way out
+            release.set()
+            blocker.result(5.0)
+            deadline = time.monotonic() + 5.0
+            while batcher.stats().cancelled == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        stats = batcher.stats()
+        assert stats.cancelled == 1
+        # Only the blocker was computed; the abandoned tile never was.
+        assert computed and sum(computed) == 1
+
+    def test_expired_deadline_dropped_at_flush(self):
+        release = threading.Event()
+
+        def predict_fn(stack):
+            release.wait(5.0)
+            return np.zeros((stack.shape[0], 3, *stack.shape[1:3]), dtype=np.float32)
+
+        tile = np.zeros((8, 8, 3), dtype=np.uint8)
+        with MicroBatcher(predict_fn, max_batch=1, max_delay_s=0.0) as batcher:
+            blocker = batcher.submit(tile)
+            time.sleep(0.05)
+            doomed = batcher.submit(tile, deadline=Deadline(0.0))  # expired on arrival
+            release.set()
+            blocker.result(5.0)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(5.0)
+        assert batcher.stats().expired == 1
+
+    def test_bounded_queue_sheds_with_overloaded_error(self):
+        release = threading.Event()
+
+        def predict_fn(stack):
+            release.wait(5.0)
+            return np.zeros((stack.shape[0], 3, *stack.shape[1:3]), dtype=np.float32)
+
+        tile = np.zeros((8, 8, 3), dtype=np.uint8)
+        batcher = MicroBatcher(predict_fn, max_batch=1, max_delay_s=0.0, max_queue=2)
+        try:
+            pending = [batcher.submit(tile)]
+            time.sleep(0.05)  # let the worker pick up the blocker
+            pending += [batcher.submit(tile) for _ in range(2)]
+            with pytest.raises(OverloadedError, match="queue full"):
+                batcher.submit(tile)
+            stats = batcher.stats()
+            assert stats.shed == 1
+            assert stats.queue_depth <= stats.max_queue == 2
+            release.set()
+            for p in pending:
+                p.result(5.0)
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_deadline_forwarded_to_deadline_aware_predict_fn(self):
+        seen = []
+
+        def predict_fn(stack, deadline=None):
+            seen.append(deadline)
+            return np.zeros((stack.shape[0], 3, *stack.shape[1:3]), dtype=np.float32)
+
+        tile = np.zeros((8, 8, 3), dtype=np.uint8)
+        with MicroBatcher(predict_fn, max_batch=1, max_delay_s=0.0) as batcher:
+            batcher.submit(tile, deadline=Deadline(30.0)).result(5.0)
+            batcher.submit(tile).result(5.0)  # unbounded entry → None
+        assert len(seen) == 2
+        assert isinstance(seen[0], Deadline) and seen[1] is None
+
+
+class TestAtomicCheckpointWrites:
+    def test_save_weights_leaves_no_temp_files(self, tmp_path):
+        model = UNet(tiny_unet_config(seed=1))
+        path = save_weights(model, str(tmp_path / "weights.npz"))
+        assert os.path.exists(path)
+        assert glob.glob(str(tmp_path / "*.tmp-*")) == []
+        assert load_model_state(path)
+
+    def test_save_checkpoint_replaces_previous_archive_atomically(self, tmp_path):
+        model = UNet(tiny_unet_config(seed=2))
+        optimizer = SGD(model.parameters(), lr=0.1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, optimizer, path)
+        before = load_model_state(path)
+        save_checkpoint(model, optimizer, path)  # overwrite in place
+        after = load_model_state(path)
+        assert sorted(before) == sorted(after)
+        assert glob.glob(str(tmp_path / "*.tmp-*")) == []
+
+    def test_failed_write_keeps_previous_archive(self, tmp_path, monkeypatch):
+        model = UNet(tiny_unet_config(seed=2))
+        path = save_weights(model, str(tmp_path / "w.npz"))
+        good = load_model_state(path)
+
+        import repro.nn.serialization as serialization
+
+        def explode(stream, **state):
+            stream.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization.np, "savez_compressed", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_weights(model, path)
+        monkeypatch.undo()
+        # The interrupted write never touched the published archive.
+        recovered = load_model_state(path)
+        assert sorted(recovered) == sorted(good)
+        assert glob.glob(str(tmp_path / "*.tmp-*")) == []
+
+
+def _publish(registry: ModelRegistry, name: str, version: int, seed: int = 0) -> None:
+    registry.publish(name, version, UNet(UNetConfig(depth=1, base_channels=2, seed=seed)))
+
+
+class TestRegistryGracefulDegrade:
+    def test_corrupt_new_version_keeps_serving_previous(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        _publish(registry, "m", 1)
+        first = registry.classifier("m")
+        # A half-written v2 lands in the registry directory mid-rescan.
+        bad = tmp_path / "m" / "2.npz"
+        bad.write_bytes(b"this is not a zip archive")
+        registry.scan()
+        served = registry.classifier("m")
+        assert served is first  # still the warm v1
+        assert str(bad) in registry.quarantined_paths()
+        registry.close()
+
+    def test_rewritten_archive_leaves_quarantine(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        _publish(registry, "m", 1)
+        registry.classifier("m")
+        bad = tmp_path / "m" / "2.npz"
+        bad.write_bytes(b"garbage")
+        registry.classifier("m")  # quarantines v2
+        assert registry.quarantined_paths()
+        # Republishing v2 properly (new mtime) gets it served again.
+        _publish(registry, "m", 2, seed=9)
+        os.utime(bad, ns=(time.time_ns(), time.time_ns()))
+        served = registry.classifier("m")
+        assert registry.loaded_versions("m")[-1] == ("m", 2)
+        assert served is registry.warm_classifier("m", 2)
+        assert not registry.quarantined_paths()
+        registry.close()
+
+    def test_pinned_version_still_raises_on_corruption(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        _publish(registry, "m", 1)
+        bad = tmp_path / "m" / "2.npz"
+        bad.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            registry.classifier("m", version=2)
+        registry.close()
+
+    def test_all_versions_corrupt_raises_checkpoint_error(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        (tmp_path / "m").mkdir()
+        (tmp_path / "m" / "1.npz").write_bytes(b"junk")
+        registry.scan()
+        with pytest.raises(CheckpointError):
+            registry.classifier("m")
+        # Quarantined now; the next lookup reports every version unusable.
+        with pytest.raises(CheckpointError, match="quarantined"):
+            registry.classifier("m")
+        registry.close()
+
+    def test_registry_close_retires_every_warm_entry(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        _publish(registry, "a", 1)
+        _publish(registry, "b", 1, seed=4)
+        retired = []
+        registry.add_evict_listener(retired.append)
+        registry.classifier("a")
+        registry.classifier("b")
+        registry.close()
+        assert registry.warm_count() == 0
+        assert sorted(retired) == [("a", 1), ("b", 1)]
