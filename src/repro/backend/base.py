@@ -37,6 +37,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs.metrics import Histogram, get_registry
+from ..obs.trace import record as _trace_record
 from ..reliability import Deadline
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "BackendError",
     "ModelHandle",
     "available_backends",
+    "record_compute",
     "resolve_backend_name",
     "make_backend",
 ]
@@ -55,6 +58,30 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 
 class BackendError(RuntimeError):
     """A backend worker failed (crashed, closed, or rejected a task)."""
+
+
+_compute_hist: Histogram | None = None
+
+
+def record_compute(backend_name: str, compute_ms: float) -> None:
+    """Report one predict's model-execution time.
+
+    Feeds both sinks at once: the thread-local trace collector (so a traced
+    request's span breakdown separates compute from dispatch overhead) and
+    the per-backend compute histogram.  Each backend calls this with the
+    time measured *where the model actually ran* — inline (serial), in the
+    pool thread (thread), or inside the worker process (fork, echoed back in
+    reply metadata).
+    """
+    global _compute_hist
+    _trace_record("compute_ms", compute_ms)
+    if _compute_hist is None:
+        _compute_hist = get_registry().histogram(
+            "repro_backend_compute_ms",
+            "Model compute time per predict dispatch",
+            ("backend",),
+        )
+    _compute_hist.observe(compute_ms, backend=backend_name)
 
 
 @dataclass(frozen=True)
@@ -94,6 +121,11 @@ class Backend(ABC):
         self._closed = False
         self._tasks_dispatched = 0
         self._lock = threading.Lock()
+        self._m_tasks = get_registry().counter(
+            "repro_backend_tasks_total",
+            "Tasks dispatched through the execution-backend seam",
+            ("backend",),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -142,6 +174,7 @@ class Backend(ABC):
     def _count_task(self, n: int = 1) -> None:
         with self._lock:
             self._tasks_dispatched += n
+        self._m_tasks.inc(n, backend=self.name)
 
     # ------------------------------------------------------------------ #
     # Generic dispatch

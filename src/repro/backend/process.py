@@ -38,11 +38,14 @@ import multiprocessing as mp
 import os
 import queue
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import current_trace_id, record as _trace_record
 from ..reliability import Deadline, RetryPolicy, fault_point
 from .base import Backend, BackendError, ModelHandle, _default_chunk_size
 from .store import (
@@ -99,6 +102,20 @@ def _worker_get_view(segments: dict, name: str, shape, dtype, writeable: bool):
     return cached[1]
 
 
+def _worker_reply_meta(compute_ms: float, trace_id=None) -> dict:
+    """Reply metadata for one timed predict op: compute time, trace echo,
+    and whatever metric deltas accumulated in this worker since its last
+    reply — the piggyback channel that keeps the metrics hot path free of
+    cross-process locks."""
+    meta = {"compute_ms": compute_ms, "pid": os.getpid()}
+    if trace_id is not None:
+        meta["trace_id"] = trace_id
+    drained = get_registry().drain()
+    if drained:
+        meta["metrics"] = drained
+    return meta
+
+
 def _worker_main(conn, siblings=()) -> None:
     """Blocking request loop of one backend worker (runs in the child)."""
     # Forked children inherit the parent's end of every *earlier* worker's
@@ -110,8 +127,17 @@ def _worker_main(conn, siblings=()) -> None:
             sibling.close()
         except OSError:  # pragma: no cover - already closed
             pass
+    # The fork cloned the parent's metrics registry cells (copy-on-write);
+    # zero them or every parent count accumulated before the fork would be
+    # double-reported by this worker's first drained delta.
+    get_registry().reset()
     models: dict = {}  # key -> AttachedModel
     segments: dict = {}  # segment name -> (SharedMemory, ndarray view)
+    hist_compute = get_registry().histogram(
+        "repro_backend_compute_ms",
+        "Model compute time per predict dispatch",
+        ("backend",),
+    )
     try:
         while True:
             try:
@@ -136,7 +162,8 @@ def _worker_main(conn, siblings=()) -> None:
                         old.close()
                     conn.send(("ok", None))
                 elif op == "predict_span":
-                    key, in_name, in_shape, in_dtype, out_name, out_shape, start, stop = msg[1:]
+                    (key, in_name, in_shape, in_dtype, out_name, out_shape,
+                     start, stop, trace_id) = msg[1:]
                     entry = models[key]
                     fault_point("worker_crash")
                     fault_point("worker_hang")
@@ -144,13 +171,20 @@ def _worker_main(conn, siblings=()) -> None:
                                            np.dtype(in_dtype), writeable=False)
                     dst = _worker_get_view(segments, out_name, out_shape,
                                            np.float32, writeable=True)
+                    t0 = time.perf_counter()
                     entry.predict(src[start:stop], out=dst[start:stop])
-                    conn.send(("ok", None))
+                    compute_ms = (time.perf_counter() - t0) * 1e3
+                    hist_compute.observe(compute_ms, backend="fork")
+                    conn.send(("ok", None, _worker_reply_meta(compute_ms, trace_id)))
                 elif op == "predict_batch":
-                    key, batch = msg[1:]
+                    key, batch, trace_id = msg[1:]
                     fault_point("worker_crash")
                     fault_point("worker_hang")
-                    conn.send(("ok", models[key].predict(batch)))
+                    t0 = time.perf_counter()
+                    result = models[key].predict(batch)
+                    compute_ms = (time.perf_counter() - t0) * 1e3
+                    hist_compute.observe(compute_ms, backend="fork")
+                    conn.send(("ok", result, _worker_reply_meta(compute_ms, trace_id)))
                 elif op == "ping":
                     conn.send(("ok", os.getpid()))
                 elif op == "warm":
@@ -194,6 +228,9 @@ class _Worker:
         self.process.start()
         child_conn.close()
         self.dead = False
+        #: metadata of the most recent 3-tuple reply (trace-id echo, pid,
+        #: compute time) — observability peek, not part of the data path
+        self.last_meta: dict | None = None
 
     def call(self, *msg, timeout: float | None = None):
         """One request/response round trip; a broken pipe marks the worker dead.
@@ -202,6 +239,12 @@ class _Worker:
         answer in time is presumed hung, killed on the spot (its model state
         is all re-creatable from the shared store) and reported as
         :class:`WorkerLost` so idempotent ops can retry elsewhere.
+
+        Timed ops reply ``("ok", payload, meta)``: the worker-measured
+        compute time lands in this thread's trace collector (if one is
+        active), and any piggybacked metric deltas merge into the parent
+        registry here — on the thread that already owns the reply, never
+        under a shared lock on the worker side.
         """
         try:
             self.conn.send(msg)
@@ -211,14 +254,24 @@ class _Worker:
                     f"backend worker (pid {self.process.pid}) hung during {msg[0]!r} "
                     f"(no reply within {timeout:.1f}s); killed"
                 )
-            status, payload = self.conn.recv()
+            reply = self.conn.recv()
         except (EOFError, OSError, BrokenPipeError) as exc:
             self.dead = True
             raise WorkerLost(
                 f"backend worker (pid {self.process.pid}) died during {msg[0]!r}: {exc!r}"
             ) from exc
+        status, payload = reply[0], reply[1]
+        meta = reply[2] if len(reply) > 2 else None
         if status != "ok":
             raise BackendError(f"backend worker task {msg[0]!r} failed: {payload}")
+        if meta is not None:
+            self.last_meta = meta
+            drained = meta.get("metrics")
+            if drained:
+                get_registry().merge(drained)
+            compute_ms = meta.get("compute_ms")
+            if compute_ms is not None:
+                _trace_record("compute_ms", compute_ms)
         return payload
 
     def kill(self) -> None:
@@ -568,8 +621,11 @@ class ProcessBackend(Backend):
         if key not in self._store:
             raise KeyError(key)
         self._count_task()
+        # The trace id crosses the pipe with the batch and comes back echoed
+        # in reply meta: the worker's compute time is attributed to *this*
+        # request's collector, and the round trip itself is testable.
         return self._predict_call("predict_batch", key, np.ascontiguousarray(batch),
-                                  deadline=deadline)
+                                  current_trace_id(), deadline=deadline)
 
     def _io_for(self, key, stack: np.ndarray) -> tuple[_IOSegments, bool]:
         handle = self._handles[key]
@@ -615,13 +671,16 @@ class ProcessBackend(Backend):
                 self._broadcast("warm", key, shape)
         self._count_task(len(spans))
         in_name, out_name = seg.names
+        # Capture the trace id here, in the caller's thread — the dispatcher
+        # threads running the spans have no collector of their own.
+        trace_id = current_trace_id()
         submit = self._dispatcher.submit
         futures = [
             submit(
                 lambda s=start, e=stop: self._predict_call(
                     "predict_span", key,
                     in_name, seg.in_view.shape, seg.in_dtype,
-                    out_name, seg.out_view.shape, s, e,
+                    out_name, seg.out_view.shape, s, e, trace_id,
                     deadline=deadline,
                 )
             )

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..reliability import Deadline
-from .base import Backend, LocalModelEntry, ModelHandle
+from .base import Backend, LocalModelEntry, ModelHandle, record_compute
 
 __all__ = ["SerialBackend"]
 
@@ -52,7 +53,10 @@ class SerialBackend(Backend):
         if deadline is not None:
             deadline.check("backend predict")
         self._count_task()
-        return self._models[key].predict(batch)
+        start = time.perf_counter()
+        result = self._models[key].predict(batch)
+        record_compute(self.name, (time.perf_counter() - start) * 1e3)
+        return result
 
     def _close(self) -> None:
         self._models.clear()

@@ -32,6 +32,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from ..reliability import fault_point
 
 __all__ = [
@@ -151,6 +152,18 @@ class SharedModelStore:
     def __init__(self) -> None:
         self._segments: dict[object, shared_memory.SharedMemory] = {}
         self._specs: dict[object, SharedModelSpec] = {}
+        self._m_bytes = get_registry().gauge(
+            "repro_store_shm_bytes",
+            "Bytes of shared memory held by published model segments",
+        )
+        self._m_models = get_registry().gauge(
+            "repro_store_models",
+            "Models currently published in the shared store",
+        )
+
+    def _update_gauges(self) -> None:
+        self._m_bytes.set(float(sum(shm.size for shm in self._segments.values())))
+        self._m_models.set(float(len(self._segments)))
 
     # ------------------------------------------------------------------ #
     def publish(
@@ -224,6 +237,7 @@ class SharedModelStore:
         self.release(key)
         self._segments[key] = shm
         self._specs[key] = spec
+        self._update_gauges()
         return spec
 
     def spec(self, key) -> SharedModelSpec:
@@ -244,6 +258,7 @@ class SharedModelStore:
         self._specs.pop(key, None)
         if shm is not None:
             close_segment(shm, unlink=True)
+            self._update_gauges()
 
     def close(self) -> None:
         for key in list(self._segments):

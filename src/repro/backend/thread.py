@@ -11,13 +11,14 @@ mainly buys I/O overlap.  It is also the fork-less-platform answer to
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..reliability import Deadline
-from .base import Backend, LocalModelEntry, ModelHandle, _default_chunk_size
+from .base import Backend, LocalModelEntry, ModelHandle, _default_chunk_size, record_compute
 
 __all__ = ["ThreadBackend"]
 
@@ -95,7 +96,17 @@ class ThreadBackend(Backend):
         if deadline is not None:
             deadline.check("backend predict")
         self._count_task()
-        return self._pool.submit(self._run, entry.predict, batch).result()
+
+        # Time inside the pool thread (where the model runs), report from the
+        # calling thread (where the request's trace collector lives).
+        def timed():
+            start = time.perf_counter()
+            result = self._run(entry.predict, batch)
+            return result, (time.perf_counter() - start) * 1e3
+
+        result, compute_ms = self._pool.submit(timed).result()
+        record_compute(self.name, compute_ms)
+        return result
 
     def predict_stack(self, key, stack: np.ndarray, batch_size: int,
                       copy: bool = True, deadline: Deadline | None = None) -> np.ndarray:

@@ -16,6 +16,8 @@ Sub-commands (``repro-seaice <command> --help`` for options):
   ``/models``, ``/predict``) with micro-batched, plan-compiled inference.
 * ``bench``      — run any ``benchmarks/`` module locally (optionally at CI
   smoke scale) and print its machine-readable ``BENCH_*.json`` result.
+* ``profile``    — run the opt-in profiling hooks (per-step compiled-plan
+  timings, per-phase/per-layer training timings) and print the JSON report.
 """
 
 from __future__ import annotations
@@ -225,7 +227,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "host": server.server_address[0],
             "port": server.server_address[1],
             "models": {name: versions for name, versions in models.items()},
-            "endpoints": ["/healthz", "/models", "/stats", "/predict"],
+            "endpoints": ["/healthz", "/models", "/stats", "/metrics", "/predict"],
         }), flush=True)
 
     run_service(service, quiet=args.quiet, on_ready=announce)
@@ -293,6 +295,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(os.path.join(json_dir, entry)) as fh:
             print(f"== {entry} ==")
             print(fh.read().rstrip())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the opt-in profiling hooks and print (or write) the JSON report."""
+    from .obs import profile_inference, profile_training
+    from .unet import UNetConfig
+    from .unet.model import UNet
+
+    report: dict = {}
+    if args.what in ("inference", "all"):
+        model = UNet(UNetConfig(depth=args.depth, base_channels=args.base_channels,
+                                dropout=0.0, seed=args.seed))
+        report["inference"] = profile_inference(
+            model,
+            batch_shape=(args.batch_size, args.tile_size, args.tile_size),
+            iterations=args.iterations,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+    if args.what in ("training", "all"):
+        report["training"] = profile_training(
+            epochs=args.epochs,
+            batches=args.batches,
+            batch_size=args.batch_size,
+            tile=args.tile_size,
+            seed=args.seed,
+        )
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -418,6 +455,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true", help="run at CI smoke scale (BENCH_SMOKE=1)")
     p.add_argument("--json-dir", default=".", help="directory for the BENCH_*.json outputs")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("profile", help="run the profiling hooks and print a JSON report")
+    p.add_argument("what", nargs="?", choices=("inference", "training", "all"), default="all",
+                   help="which profile to run (default: all)")
+    p.add_argument("--tile-size", type=int, default=32, help="square input tile edge")
+    p.add_argument("--batch-size", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=50, help="measured inference iterations")
+    p.add_argument("--warmup", type=int, default=5, help="unmeasured warmup iterations")
+    p.add_argument("--epochs", type=int, default=2, help="profiled training epochs")
+    p.add_argument("--batches", type=int, default=4, help="batches per training epoch")
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--base-channels", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write the JSON report to a file instead of stdout")
+    p.set_defaults(func=_cmd_profile)
     return parser
 
 

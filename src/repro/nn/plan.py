@@ -32,6 +32,7 @@ distinct plans (distinct shapes) run fully in parallel.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable
 
@@ -273,11 +274,43 @@ class CompiledPlan:
         self._arena = arena
         self._steps = steps
         self._lock = threading.Lock()
+        #: per-step ``{"step", "calls", "total_ms"}`` accumulators while
+        #: profiling is enabled; ``None`` (the default) keeps :meth:`run`'s
+        #: hot path at a single ``is None`` branch
+        self._profile: list[dict] | None = None
 
     @property
     def arena_nbytes(self) -> int:
         """Total bytes of the preallocated workspace arena."""
         return self._arena.nbytes
+
+    def enable_profiling(self, enabled: bool = True) -> None:
+        """Toggle per-step wall-time accumulation (resets prior samples)."""
+        with self._lock:
+            if enabled:
+                self._profile = [
+                    {"step": type(step).__name__.lstrip("_"), "calls": 0, "total_ms": 0.0}
+                    for step in self._steps
+                ]
+            else:
+                self._profile = None
+
+    def profile_info(self) -> list[dict]:
+        """Accumulated per-step timings (``[]`` unless profiling is enabled)."""
+        with self._lock:
+            cells = self._profile
+            if cells is None:
+                return []
+            return [
+                {
+                    "index": index,
+                    "step": cell["step"],
+                    "calls": cell["calls"],
+                    "total_ms": round(cell["total_ms"], 3),
+                    "mean_ms": round(cell["total_ms"] / cell["calls"], 4) if cell["calls"] else 0.0,
+                }
+                for index, cell in enumerate(cells)
+            ]
 
     def run(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Execute the plan on ``x`` (must match the compiled input shape).
@@ -298,12 +331,29 @@ class CompiledPlan:
                 f"got {out.dtype} {out.shape}"
             )
         with self._lock:
+            if self._profile is not None:
+                return self._run_profiled(x, out)
             for step in self._steps[:-1]:
                 step.run(x)
             last = self._steps[-1]
             if out is not None:
                 return last.run_into(x, out)
             return last.run(x)
+
+    def _run_profiled(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """The :meth:`run` body with per-step timing; caller holds ``_lock``."""
+        result = None
+        last_index = len(self._steps) - 1
+        for index, step in enumerate(self._steps):
+            start = time.perf_counter()
+            if index == last_index and out is not None:
+                result = step.run_into(x, out)
+            else:
+                result = step.run(x)
+            cell = self._profile[index]
+            cell["calls"] += 1
+            cell["total_ms"] += (time.perf_counter() - start) * 1e3
+        return result
 
 
 class PlanBuilder:
@@ -488,6 +538,11 @@ class PlanCache:
         """Cached shapes, least recently used first."""
         with self._lock:
             return list(self._plans)
+
+    def items(self) -> list[tuple[tuple[int, ...], CompiledPlan]]:
+        """``(shape, plan)`` snapshot, least recently used first."""
+        with self._lock:
+            return list(self._plans.items())
 
     def clear(self) -> None:
         """Drop every cached plan (required after mutating model weights)."""

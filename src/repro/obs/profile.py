@@ -1,0 +1,200 @@
+"""Profiling hooks: per-layer timers, latency percentiles, profile runners.
+
+Two opt-in instrumentation seams live elsewhere and report here:
+
+* :class:`~repro.nn.plan.CompiledPlan` records per-step wall time when
+  ``enable_profiling()`` is on (one branch on the hot path when off);
+* :class:`~repro.unet.trainer.UNetTrainer` records per-phase
+  (forward/loss/backward/optimizer) and per-layer timings per epoch.
+
+:class:`LayerTimer` is the shared per-layer mechanism: it patches the
+``forward``/``backward`` of named modules with accumulating wrappers and
+restores the originals on removal — no permanent cost in the layer code.
+
+:func:`profile_inference` and :func:`profile_training` are the runners the
+``repro-seaice profile`` CLI command drives; their payloads are JSON-safe so
+they drop straight into ``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LayerTimer",
+    "latency_percentiles",
+    "profile_inference",
+    "profile_training",
+]
+
+
+class LayerTimer:
+    """Accumulate per-layer forward/backward wall time by patching modules.
+
+    ``install()`` replaces each named module's ``forward`` (and ``backward``
+    when present) with a timing wrapper writing into this timer;
+    ``remove()`` restores the original bound methods.  Use as a context
+    manager for exception safety.
+    """
+
+    def __init__(self, named_modules: Iterable[tuple[str, object]]) -> None:
+        self._modules = list(named_modules)
+        self._originals: list[tuple[object, str, object]] = []
+        self.stats: dict[str, dict[str, float]] = {}
+
+    def _cell(self, name: str) -> dict[str, float]:
+        cell = self.stats.get(name)
+        if cell is None:
+            cell = self.stats[name] = {"forward_ms": 0.0, "backward_ms": 0.0, "calls": 0}
+        return cell
+
+    def _wrap(self, module: object, attr: str, name: str, key: str):
+        original = getattr(module, attr)
+        # Was the attribute instance-level before us?  Usually not (methods
+        # live on the class), in which case removal must *delete* our shadow
+        # rather than pin a bound method onto the instance.
+        had_instance_attr = attr in vars(module)
+
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return original(*args, **kwargs)
+            finally:
+                cell = self._cell(name)
+                cell[key] += (time.perf_counter() - start) * 1e3
+                if key == "forward_ms":
+                    cell["calls"] += 1
+
+        self._originals.append((module, attr, original if had_instance_attr else None))
+        setattr(module, attr, timed)
+
+    def install(self) -> "LayerTimer":
+        if self._originals:
+            raise RuntimeError("LayerTimer is already installed")
+        for name, module in self._modules:
+            self._wrap(module, "forward", name, "forward_ms")
+            if hasattr(module, "backward"):
+                self._wrap(module, "backward", name, "backward_ms")
+        return self
+
+    def remove(self) -> None:
+        for module, attr, original in reversed(self._originals):
+            if original is None:
+                delattr(module, attr)
+            else:
+                setattr(module, attr, original)
+        self._originals = []
+
+    def __enter__(self) -> "LayerTimer":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()
+
+    def to_dict(self) -> dict:
+        return {
+            name: {key: (round(value, 3) if isinstance(value, float) else value)
+                   for key, value in cell.items()}
+            for name, cell in self.stats.items()
+        }
+
+
+def latency_percentiles(samples_ms: Sequence[float],
+                        qs: Sequence[float] = (0.5, 0.95, 0.99)) -> dict:
+    """Exact percentiles of a latency sample list: ``{"p50_ms": ..., ...}``."""
+    if not len(samples_ms):
+        return {f"p{int(q * 100)}_ms": None for q in qs}
+    arr = np.asarray(samples_ms, dtype=np.float64)
+    return {
+        f"p{int(q * 100)}_ms": round(float(np.quantile(arr, q)), 3)
+        for q in qs
+    }
+
+
+def _named_top_blocks(model) -> list[tuple[str, object]]:
+    """The per-layer granularity the trainer and profiler time: top-level blocks."""
+    blocks: list[tuple[str, object]] = []
+    for i, encoder in enumerate(getattr(model, "encoders", [])):
+        blocks.append((f"enc{i}", encoder))
+    if hasattr(model, "bottleneck"):
+        blocks.append(("bottleneck", model.bottleneck))
+    for i, decoder in enumerate(getattr(model, "decoders", [])):
+        blocks.append((f"dec{i}", decoder))
+    if hasattr(model, "head"):
+        blocks.append(("head", model.head))
+    return blocks
+
+
+def profile_inference(model, batch_shape: tuple[int, int, int] = (1, 32, 32),
+                      iterations: int = 50, warmup: int = 5, seed: int = 0) -> dict:
+    """Per-step compiled-plan timings + end-to-end latency percentiles.
+
+    ``batch_shape`` is ``(N, H, W)``; the input channel count comes from the
+    model.  The plan is compiled and first-touched during warmup, so the
+    measured iterations are the serving steady state.
+    """
+    from ..unet.compiled import CompiledUNet
+
+    n, h, w = (int(d) for d in batch_shape)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, model.config.in_channels, h, w)).astype(np.float32)
+
+    engine = CompiledUNet(model, max_plans=2)
+    plan = engine.warm(x.shape)
+    for _ in range(max(1, warmup)):
+        plan.run(x)
+    plan.enable_profiling()
+    samples = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        plan.run(x)
+        samples.append((time.perf_counter() - start) * 1e3)
+    steps = plan.profile_info()
+    plan.enable_profiling(False)
+    return {
+        "input_shape": list(x.shape),
+        "iterations": iterations,
+        "latency": latency_percentiles(samples),
+        "mean_ms": round(float(np.mean(samples)), 3),
+        "steps": steps,
+        "plan_arena_bytes": plan.arena_nbytes,
+    }
+
+
+def profile_training(model=None, epochs: int = 2, batches: int = 4, batch_size: int = 4,
+                     tile: int = 16, seed: int = 0) -> dict:
+    """Per-epoch, per-phase and per-layer training timings on synthetic tiles."""
+    from ..data.loader import BatchLoader
+    from ..unet.model import UNet, UNetConfig
+    from ..unet.trainer import UNetTrainer
+
+    if model is None:
+        model = UNet(UNetConfig(depth=2, base_channels=8, dropout=0.0, seed=seed))
+    rng = np.random.default_rng(seed)
+    count = batches * batch_size
+    images = rng.integers(0, 255, size=(count, tile, tile, 3), dtype=np.uint8)
+    labels = rng.integers(0, model.config.num_classes, size=(count, tile, tile), dtype=np.uint8)
+    loader = BatchLoader(images, labels, batch_size=batch_size, shuffle=False, augment=False)
+
+    trainer = UNetTrainer(model=model)
+    trainer.enable_profiling()
+    trainer.fit(loader, epochs=epochs)
+    return {
+        "epochs": epochs,
+        "batches_per_epoch": batches,
+        "batch_size": batch_size,
+        "tile": tile,
+        "per_epoch": [
+            {
+                "epoch": stats.epoch,
+                "time_s": round(stats.time_s, 4),
+                "images_per_s": round(stats.images_per_s, 2),
+                "phases_ms": stats.profile.get("phases_ms") if stats.profile else None,
+                "layers": stats.profile.get("layers") if stats.profile else None,
+            }
+            for stats in trainer.history.epochs
+        ],
+    }

@@ -1,0 +1,219 @@
+"""Request tracing: trace ids, stage-span collection, sampled JSON trace logs.
+
+One trace follows one request through the stack: the HTTP handler mints (or
+honours ``X-Request-Id``) a trace id, the serving layer collects per-stage
+spans — queue wait, batch assembly, dispatch, compute, stitch — and, when
+the trace is sampled, emits a single structured-JSON record to the trace
+log.  ``REPRO_TRACE`` picks the mode:
+
+* ``off`` (default) — no records are emitted (ids still flow, so responses
+  always carry a ``trace_id``);
+* ``sampled`` — a deterministic hash of the trace id keeps roughly
+  ``REPRO_TRACE_SAMPLE`` (default 0.1) of traces;
+* ``all`` — every trace is emitted.
+
+Records go to ``REPRO_TRACE_LOG`` (a JSONL file, opened lazily and appended
+under a lock) or stderr when unset.
+
+Stage timings cross layer boundaries without threading new parameters
+through every signature: the batcher pushes a thread-local **collector**
+dict before invoking the prediction seam, and the innermost layer that
+knows a number (the backend's compute timing, a fork worker's reply
+metadata) calls :func:`record` — one thread-local attribute check when no
+collector is active, so the hot path without tracing stays free.
+
+Fork propagation: the parent stashes the current trace id next to the
+collector; the process backend copies it into dispatch messages, the worker
+echoes it in reply metadata, and the parent records the worker-measured
+compute time into the active collector — so a fork-served request reports
+real worker compute, not just round-trip time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "TRACE_SAMPLE_ENV_VAR",
+    "TRACE_LOG_ENV_VAR",
+    "new_trace_id",
+    "trace_mode",
+    "configure_tracing",
+    "should_sample",
+    "emit_trace",
+    "push_collector",
+    "pop_collector",
+    "record",
+    "active_collector",
+    "current_trace_id",
+    "collector_context",
+]
+
+#: ``off`` | ``sampled`` | ``all``
+TRACE_ENV_VAR = "REPRO_TRACE"
+#: sample probability for ``sampled`` mode (default 0.1)
+TRACE_SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+#: JSONL sink path (default: stderr)
+TRACE_LOG_ENV_VAR = "REPRO_TRACE_LOG"
+
+_VALID_MODES = ("off", "sampled", "all")
+
+_config_lock = threading.Lock()
+_mode: str | None = None        # None → read the environment lazily
+_sample_rate: float | None = None
+_log_path: str | None = None
+_log_file = None
+_log_lock = threading.Lock()
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex trace id (uuid4, no dashes)."""
+    return uuid.uuid4().hex
+
+
+def configure_tracing(mode: str | None = None, sample_rate: float | None = None,
+                      log_path: str | None = None) -> None:
+    """Override the environment-derived tracing config (tests, CLI flags).
+
+    Passing ``None`` for a field re-reads it from the environment on next
+    use; the log sink is reopened when its path changes.
+    """
+    global _mode, _sample_rate, _log_path, _log_file
+    if mode is not None and mode not in _VALID_MODES:
+        raise ValueError(f"trace mode must be one of {_VALID_MODES}, got {mode!r}")
+    with _config_lock:
+        _mode = mode
+        _sample_rate = sample_rate
+        with _log_lock:
+            if _log_file is not None and not _log_file.closed and _log_file is not sys.stderr:
+                _log_file.close()
+            _log_file = None
+            _log_path = log_path
+
+
+def trace_mode() -> str:
+    with _config_lock:
+        if _mode is not None:
+            return _mode
+    env = os.environ.get(TRACE_ENV_VAR, "off").strip().lower()
+    return env if env in _VALID_MODES else "off"
+
+
+def _sample_rate_value() -> float:
+    with _config_lock:
+        if _sample_rate is not None:
+            return _sample_rate
+    raw = os.environ.get(TRACE_SAMPLE_ENV_VAR, "").strip()
+    try:
+        return min(1.0, max(0.0, float(raw))) if raw else 0.1
+    except ValueError:
+        return 0.1
+
+
+def should_sample(trace_id: str) -> bool:
+    """Whether this trace id's record should be emitted under the current mode.
+
+    Deterministic in the trace id (a stable 64-bit FNV-1a hash, not
+    ``hash()`` which is salted per process), so parent and workers — or a
+    retry of the same request — agree on the sampling verdict.
+    """
+    mode = trace_mode()
+    if mode == "off":
+        return False
+    if mode == "all":
+        return True
+    acc = 0xCBF29CE484222325
+    for byte in trace_id.encode("utf-8"):
+        acc = ((acc ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return (acc / 2**64) < _sample_rate_value()
+
+
+def emit_trace(record_dict: dict) -> None:
+    """Append one JSON trace record to the configured sink (JSONL)."""
+    global _log_file
+    line = json.dumps(record_dict, sort_keys=True)
+    with _log_lock:
+        if _log_file is None or _log_file.closed:
+            path = _log_path if _log_path is not None else os.environ.get(TRACE_LOG_ENV_VAR, "").strip()
+            if path:
+                directory = os.path.dirname(os.path.abspath(path))
+                os.makedirs(directory, exist_ok=True)
+                _log_file = open(path, "a", encoding="utf-8")
+            else:
+                _log_file = sys.stderr
+        _log_file.write(line + "\n")
+        _log_file.flush()
+
+
+# ---------------------------------------------------------------------- #
+# Thread-local stage-timing collectors
+# ---------------------------------------------------------------------- #
+_tls = threading.local()
+
+
+def push_collector(collector: dict, trace_id: str | None = None) -> None:
+    """Activate ``collector`` for this thread; inner layers :func:`record` into it."""
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append((collector, trace_id))
+
+
+def pop_collector() -> dict:
+    """Deactivate (and return) the innermost collector."""
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        raise RuntimeError("no active trace collector to pop")
+    return stack.pop()[0]
+
+
+def active_collector() -> dict | None:
+    stack = getattr(_tls, "stack", None)
+    return stack[-1][0] if stack else None
+
+
+def current_trace_id() -> str | None:
+    """The trace id attached to the innermost active collector (if any)."""
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        return None
+    for collector, trace_id in reversed(stack):
+        if trace_id is not None:
+            return trace_id
+    return None
+
+
+def record(name: str, value_ms: float) -> None:
+    """Accumulate ``value_ms`` under ``name`` in the active collector (no-op otherwise)."""
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        return
+    collector = stack[-1][0]
+    collector[name] = collector.get(name, 0.0) + value_ms
+
+
+@contextmanager
+def collector_context(collector: dict, trace_id: str | None = None):
+    """``with collector_context({...}, tid):`` — push/pop around a block."""
+    push_collector(collector, trace_id)
+    try:
+        yield collector
+    finally:
+        pop_collector()
+
+
+@contextmanager
+def span(collector: dict, name: str):
+    """Time a block into ``collector[name]`` (milliseconds, accumulating)."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector[name] = collector.get(name, 0.0) + (time.perf_counter() - start) * 1e3

@@ -18,6 +18,8 @@ import threading
 import time
 from contextlib import contextmanager
 
+from ..obs.metrics import get_registry
+
 __all__ = ["AdmissionController", "OverloadedError"]
 
 
@@ -47,6 +49,15 @@ class AdmissionController:
         self._shed = 0
         self._peak_active = 0
         self._last_shed_at = 0.0
+        self._m_outcomes = get_registry().counter(
+            "repro_admission_total",
+            "Admission-controller decisions (admitted vs shed)",
+            ("outcome",),
+        )
+        self._m_active = get_registry().gauge(
+            "repro_admission_active",
+            "Requests currently inside the admission gate",
+        )
 
     @contextmanager
     def acquire(self):
@@ -55,6 +66,7 @@ class AdmissionController:
             if self.max_concurrent is not None and self._active >= self.max_concurrent:
                 self._shed += 1
                 self._last_shed_at = time.monotonic()
+                self._m_outcomes.inc(outcome="shed")
                 raise OverloadedError(
                     f"service saturated ({self._active}/{self.max_concurrent} in flight); "
                     "request shed",
@@ -63,11 +75,14 @@ class AdmissionController:
             self._active += 1
             self._admitted += 1
             self._peak_active = max(self._peak_active, self._active)
+            self._m_outcomes.inc(outcome="admitted")
+            self._m_active.set(self._active)
         try:
             yield
         finally:
             with self._lock:
                 self._active -= 1
+                self._m_active.set(self._active)
 
     # ------------------------------------------------------------------ #
     @property

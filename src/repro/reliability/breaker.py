@@ -16,7 +16,17 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs.metrics import get_registry
+
 __all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+def _transitions_counter():
+    return get_registry().counter(
+        "repro_breaker_transitions_total",
+        "Circuit-breaker state transitions, by destination state",
+        ("to",),
+    )
 
 
 class CircuitOpenError(RuntimeError):
@@ -76,6 +86,7 @@ class CircuitBreaker:
         ):
             self._state = "half_open"
             self._probes_in_flight = 0
+            _transitions_counter().inc(to="half_open")
         return self._state
 
     def check(self) -> None:
@@ -118,6 +129,8 @@ class CircuitBreaker:
             state = self._resolve_state()
             if state == "half_open":
                 self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if self._state != "closed":
+                _transitions_counter().inc(to="closed")
             self._state = "closed"
             self._consecutive_failures = 0
 
@@ -129,6 +142,7 @@ class CircuitBreaker:
             if state == "half_open" or self._consecutive_failures >= self.failure_threshold:
                 if self._state != "open":
                     self._times_opened += 1
+                    _transitions_counter().inc(to="open")
                 self._state = "open"
                 self._opened_at = self._clock()
                 self._probes_in_flight = 0

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time
 
+from ..obs.metrics import get_registry
+
 __all__ = ["Deadline", "DeadlineExceeded"]
 
 
@@ -75,6 +77,11 @@ class Deadline:
     def check(self, stage: str = "") -> None:
         """Raise :class:`DeadlineExceeded` if the deadline has passed."""
         if self.expired:
+            get_registry().counter(
+                "repro_deadline_exceeded_total",
+                "Deadline expiries noticed, by the stage that caught them",
+                ("stage",),
+            ).inc(stage=stage or "unknown")
             where = f" at stage {stage!r}" if stage else ""
             raise DeadlineExceeded(
                 f"deadline exceeded{where} after {self.elapsed_s() * 1e3:.1f} ms", stage=stage

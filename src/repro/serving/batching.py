@@ -28,9 +28,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import collector_context
 from ..reliability import Deadline, DeadlineExceeded, OverloadedError
 
 __all__ = ["BatcherStats", "MicroBatcher", "PendingPrediction"]
+
+#: Flush-size buckets: powers of two up to the largest ``max_batch`` anyone
+#: reasonably configures, so ``bucket_batches`` padding targets land exactly
+#: on bucket boundaries.
+FLUSH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 #: ``predict_fn`` contract: ``(N, H, W, 3) uint8 -> (N, K, H, W) float32``.
 PredictFn = Callable[[np.ndarray], np.ndarray]
@@ -39,11 +46,20 @@ PredictFn = Callable[[np.ndarray], np.ndarray]
 class PendingPrediction:
     """Future-like handle for one submitted tile."""
 
-    __slots__ = ("tile", "deadline", "_event", "_result", "_error", "_cancelled")
+    __slots__ = ("tile", "deadline", "trace_id", "submitted_at", "timings",
+                 "_event", "_result", "_error", "_cancelled")
 
-    def __init__(self, tile: np.ndarray, deadline: Deadline | None = None) -> None:
+    def __init__(self, tile: np.ndarray, deadline: Deadline | None = None,
+                 trace_id: str | None = None) -> None:
         self.tile = tile
         self.deadline = deadline
+        self.trace_id = trace_id
+        #: ``time.perf_counter()`` at submit; queue wait = flush start − this.
+        self.submitted_at = time.perf_counter()
+        #: Per-stage breakdown filled in by the flush that served this tile:
+        #: ``queue_wait_ms`` / ``batch_assembly_ms`` / ``dispatch_ms`` /
+        #: ``compute_ms`` plus ``batch_size``.  Empty until resolved.
+        self.timings: dict = {}
         self._event = threading.Event()
         self._result: np.ndarray | None = None
         self._error: BaseException | None = None
@@ -145,7 +161,8 @@ class MicroBatcher:
     """
 
     def __init__(self, predict_fn: PredictFn, max_batch: int = 8, max_delay_s: float = 0.005,
-                 bucket_batches: bool = False, max_queue: int | None = None) -> None:
+                 bucket_batches: bool = False, max_queue: int | None = None,
+                 name: str = "default") -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay_s < 0:
@@ -153,6 +170,28 @@ class MicroBatcher:
         if max_queue is not None and max_queue < 1:
             raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         self._predict_fn = predict_fn
+        self.name = str(name)
+        registry = get_registry()
+        self._m_flush_size = registry.histogram(
+            "repro_batcher_flush_size",
+            "Live requests per flushed micro-batch",
+            ("batcher",), buckets=FLUSH_SIZE_BUCKETS,
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_batcher_queue_wait_ms",
+            "Milliseconds a tile waited in the batch queue before its flush",
+            ("batcher",),
+        )
+        self._m_requests = registry.counter(
+            "repro_batcher_requests_total",
+            "Tiles handled by the batcher, by outcome (served/cancelled/expired/shed)",
+            ("batcher", "outcome"),
+        )
+        # The flush loop's labels never change, so bind them once: hot-path
+        # updates skip per-call label validation.
+        self._m_flush_size_cell = self._m_flush_size.labels(batcher=self.name)
+        self._m_queue_wait_cell = self._m_queue_wait.labels(batcher=self.name)
+        self._m_served_cell = self._m_requests.labels(batcher=self.name, outcome="served")
         # Forward per-batch deadlines only to predictors that understand them
         # (the SceneClassifier seam does; a bare lambda in a test need not).
         try:
@@ -177,21 +216,24 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # Client side
     # ------------------------------------------------------------------ #
-    def submit(self, tile: np.ndarray, deadline: Deadline | None = None) -> PendingPrediction:
+    def submit(self, tile: np.ndarray, deadline: Deadline | None = None,
+               trace_id: str | None = None) -> PendingPrediction:
         """Enqueue one ``(H, W, 3)`` tile; returns a future for its probabilities.
 
         ``deadline`` rides along with the tile: entries that expire while
         queued are dropped at flush time (the caller's ``result()`` raises
         :class:`~repro.reliability.DeadlineExceeded`) instead of computed.
-        Raises :class:`~repro.reliability.OverloadedError` when the queue is
-        at ``max_queue``.
+        ``trace_id`` (if any) rides along too and is forwarded to the
+        backend dispatch for its served group.  Raises
+        :class:`~repro.reliability.OverloadedError` when the queue is at
+        ``max_queue``.
         """
         if self._closed.is_set():
             raise RuntimeError("MicroBatcher is closed")
         arr = np.asarray(tile)
         if arr.ndim != 3 or arr.shape[-1] != 3:
             raise ValueError(f"expected one (H, W, 3) tile, got shape {arr.shape}")
-        pending = PendingPrediction(arr, deadline=deadline)
+        pending = PendingPrediction(arr, deadline=deadline, trace_id=trace_id)
         try:
             if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
                 raise queue.Full
@@ -199,6 +241,7 @@ class MicroBatcher:
         except queue.Full:
             with self._stats_lock:
                 self._stats.shed += 1
+            self._m_requests.inc(batcher=self.name, outcome="shed")
             raise OverloadedError(
                 f"batcher queue full ({self.max_queue} tiles waiting); request shed"
             ) from None
@@ -221,6 +264,10 @@ class MicroBatcher:
                 queue_depth=self._queue.qsize(),
                 max_queue=self.max_queue,
             )
+
+    def flush_size_histogram(self) -> dict:
+        """Bucketed snapshot of live-requests-per-flush for this batcher (``/stats``)."""
+        return self._m_flush_size.snapshot(batcher=self.name)
 
     def close(self, timeout: float | None = 5.0) -> None:
         """Stop accepting work, drain what is queued, and join the worker.
@@ -291,6 +338,7 @@ class MicroBatcher:
                 return
 
     def _flush(self, batch: list[PendingPrediction]) -> None:
+        flush_start = time.perf_counter()
         # Shed dead weight before compute: entries whose caller cancelled
         # (timed out and left) or whose deadline expired while queued would
         # burn a full prediction on a result nobody reads.
@@ -316,12 +364,24 @@ class MicroBatcher:
                 self._stats.requests += len(live)
                 self._stats.batches += 1
                 self._stats.max_batch_size = max(self._stats.max_batch_size, len(live))
+        if cancelled:
+            self._m_requests.inc(cancelled, batcher=self.name, outcome="cancelled")
+        if expired:
+            self._m_requests.inc(expired, batcher=self.name, outcome="expired")
         if not live:
             return
+        self._m_flush_size_cell.observe(len(live))
         groups: dict[tuple[int, ...], list[PendingPrediction]] = {}
         for pending in live:
             groups.setdefault(pending.tile.shape, []).append(pending)
         for group in groups.values():
+            # The stage collector rides this thread into the prediction seam:
+            # whichever backend serves the group records its ``compute_ms``
+            # here (the fork backend forwards the group's trace id to the
+            # worker and records the worker-measured time from reply meta).
+            collector: dict = {}
+            group_trace = next((p.trace_id for p in group if p.trace_id is not None), None)
+            predict_start = flush_start
             try:
                 tiles = [p.tile for p in group]
                 target = len(tiles)
@@ -329,20 +389,23 @@ class MicroBatcher:
                     target = min(1 << (len(tiles) - 1).bit_length(), self.max_batch)
                     tiles = tiles + [tiles[-1]] * (target - len(tiles))
                 stack = np.stack(tiles)
-                if self._fn_takes_deadline:
-                    # The batch must finish for its longest-lived entry, so
-                    # the *latest* expiry governs; any unbounded entry makes
-                    # the whole batch unbounded.
-                    deadlines = [p.deadline for p in group]
-                    batch_deadline = None
-                    if all(d is not None for d in deadlines):
-                        batch_deadline = max(
-                            deadlines,
-                            key=lambda d: (d.expires_at is None, d.expires_at or 0.0),
-                        )
-                    probs = self._predict_fn(stack, deadline=batch_deadline)
-                else:
-                    probs = self._predict_fn(stack)
+                predict_start = time.perf_counter()
+                with collector_context(collector, group_trace):
+                    if self._fn_takes_deadline:
+                        # The batch must finish for its longest-lived entry, so
+                        # the *latest* expiry governs; any unbounded entry makes
+                        # the whole batch unbounded.
+                        deadlines = [p.deadline for p in group]
+                        batch_deadline = None
+                        if all(d is not None for d in deadlines):
+                            batch_deadline = max(
+                                deadlines,
+                                key=lambda d: (d.expires_at is None, d.expires_at or 0.0),
+                            )
+                        probs = self._predict_fn(stack, deadline=batch_deadline)
+                    else:
+                        probs = self._predict_fn(stack)
+                dispatch_total_ms = (time.perf_counter() - predict_start) * 1e3
                 if probs.shape[0] != target:
                     raise RuntimeError(
                         f"predict_fn returned {probs.shape[0]} maps for {target} tiles"
@@ -351,7 +414,24 @@ class MicroBatcher:
                 for pending in group:
                     pending._resolve(None, exc)
                 continue
+            # Decompose the predict call: ``compute_ms`` is what the innermost
+            # layer measured (worker process, pool thread, or inline engine);
+            # the rest of the call is dispatch overhead (message framing,
+            # pickling, pool hops).  Assembly is the pre-call flush work.
+            assembly_ms = (predict_start - flush_start) * 1e3
+            compute_ms = float(collector.get("compute_ms", 0.0))
+            dispatch_ms = max(0.0, dispatch_total_ms - compute_ms)
+            self._m_served_cell.inc(len(group))
             for pending, prob in zip(group, probs):
+                queue_wait_ms = (flush_start - pending.submitted_at) * 1e3
+                self._m_queue_wait_cell.observe(queue_wait_ms)
+                pending.timings = {
+                    "queue_wait_ms": queue_wait_ms,
+                    "batch_assembly_ms": assembly_ms,
+                    "dispatch_ms": dispatch_ms,
+                    "compute_ms": compute_ms,
+                    "batch_size": len(group),
+                }
                 # Copy, not a view: a slice of the batch output would pin the
                 # whole (N, K, H, W) array alive for as long as any single
                 # caller keeps its map.

@@ -32,6 +32,7 @@ import threading
 from dataclasses import asdict, dataclass, field
 
 from ..nn.optimizers import Optimizer
+from ..obs.metrics import get_registry
 from ..reliability import CircuitBreaker
 from ..nn.serialization import (
     CheckpointError,
@@ -345,6 +346,10 @@ class ModelRegistry:
             mtime = -1
         with self._lock:
             self._quarantined[record.path] = mtime
+        get_registry().counter(
+            "repro_model_quarantined_total",
+            "Corrupt model archives quarantined by the registry",
+        ).inc()
         logger.warning(
             "quarantining corrupt archive %r (model %r version %s): %s; "
             "falling back to an earlier serviceable version",
@@ -444,6 +449,11 @@ class ModelRegistry:
             return len(self._warm)
 
     def _load(self, record: ModelRecord) -> SceneClassifier:
+        get_registry().counter(
+            "repro_model_loads_total",
+            "Model archives loaded into warm classifiers",
+            ("model",),
+        ).inc(model=record.name)
         metadata = record.metadata()
         model = _unet_from_metadata(record, metadata)
         try:

@@ -31,6 +31,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import emit_trace, new_trace_id, should_sample
 from ..reliability import (
     AdmissionController,
     CircuitOpenError,
@@ -102,6 +104,22 @@ class InferenceService:
         self._requests = 0
         self._tiles = 0
         self._expired = 0  # requests answered 504 (deadline exceeded)
+        registry_m = get_registry()
+        self._m_requests = registry_m.counter(
+            "repro_requests_total",
+            "Predict requests by outcome (ok/expired/shed/breaker_open/client_error/error)",
+            ("status",),
+        )
+        self._m_latency = registry_m.histogram(
+            "repro_request_latency_ms",
+            "End-to-end /predict latency per model",
+            ("model",),
+        )
+        self._m_stage = registry_m.histogram(
+            "repro_request_stage_ms",
+            "Per-stage /predict latency breakdown",
+            ("stage",),
+        )
         # Warm-model eviction (LRU cap or version hot-swap) retires the
         # evicted entry's micro-batcher — and with it the pinned plans.
         registry.add_evict_listener(self._on_warm_evicted)
@@ -174,6 +192,7 @@ class InferenceService:
             max_delay_s=self.config.batch_window_s,
             bucket_batches=self.config.bucket_batches,
             max_queue=self.config.max_queue,
+            name=f"{record.name}/{record.version}",
         )
         retired: list[MicroBatcher] = []
         with self._lock:
@@ -191,8 +210,38 @@ class InferenceService:
             old.close()
         return batcher, key
 
-    def predict_payload(self, body: dict) -> dict:
-        """Serve one ``/predict`` request body; raises ``ValueError``/``KeyError``."""
+    def predict_payload(self, body: dict, trace_id: str | None = None) -> dict:
+        """Serve one ``/predict`` request body; raises ``ValueError``/``KeyError``.
+
+        ``trace_id`` is the request's correlation id (the HTTP layer passes
+        the honoured ``X-Request-Id``); one is minted for direct API callers.
+        Every outcome increments ``repro_requests_total`` by status, and a
+        successful response carries its per-stage ``stage_timings`` plus the
+        trace id.
+        """
+        if trace_id is None:
+            trace_id = new_trace_id()
+        try:
+            payload = self._predict(body, trace_id)
+        except (DeadlineExceeded, TimeoutError):
+            self._m_requests.inc(status="expired")
+            raise
+        except CircuitOpenError:
+            self._m_requests.inc(status="breaker_open")
+            raise
+        except OverloadedError:
+            self._m_requests.inc(status="shed")
+            raise
+        except (ValueError, KeyError):
+            self._m_requests.inc(status="client_error")
+            raise
+        except Exception:
+            self._m_requests.inc(status="error")
+            raise
+        self._m_requests.inc(status="ok")
+        return payload
+
+    def _predict(self, body: dict, trace_id: str) -> dict:
         if not isinstance(body, dict):
             raise ValueError("request body must be a JSON object")
         if ("tile" in body) == ("tiles" in body):
@@ -220,7 +269,8 @@ class InferenceService:
             pending = []
             queued_ms: float | None = None
             try:
-                pending = [batcher.submit(tile, deadline=deadline) for tile in stack]
+                pending = [batcher.submit(tile, deadline=deadline, trace_id=trace_id)
+                           for tile in stack]
                 queued_ms = deadline.elapsed_s() * 1e3 - resolve_ms
                 probs = np.stack([p.result(deadline.remaining()) for p in pending])
             except (DeadlineExceeded, TimeoutError) as exc:
@@ -256,6 +306,20 @@ class InferenceService:
             self._requests += 1
             self._tiles += len(pending)
 
+        # Stage breakdown.  Tiles of one request flush (near-)together, so
+        # concurrent stages aggregate with max, not sum: two tiles waiting in
+        # the same queue wait once, wall-clock-wise.  Stitch is everything the
+        # service does after compute (result stitching, argmax, counts) —
+        # defined as the remainder so the spans always sum to ``elapsed_ms``.
+        spans = {"resolve_ms": resolve_ms}
+        for stage in ("queue_wait_ms", "batch_assembly_ms", "dispatch_ms", "compute_ms"):
+            spans[stage] = max((p.timings.get(stage, 0.0) for p in pending), default=0.0)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        spans["stitch_ms"] = max(0.0, elapsed_ms - sum(spans.values()))
+        for stage, value in spans.items():
+            self._m_stage.observe(value, stage=stage.removesuffix("_ms"))
+        self._m_latency.observe(elapsed_ms, model=name)
+
         values, counts = np.unique(class_maps, return_counts=True)
         payload: dict = {
             "model": name,
@@ -263,8 +327,21 @@ class InferenceService:
             "num_tiles": int(stack.shape[0]),
             "tile_shape": list(stack.shape[1:3]),
             "class_counts": {int(v): int(c) for v, c in zip(values, counts)},
-            "elapsed_ms": round((time.perf_counter() - start) * 1e3, 3),
+            "elapsed_ms": round(elapsed_ms, 3),
+            "trace_id": trace_id,
+            "stage_timings": {k: round(v, 3) for k, v in spans.items()},
         }
+        if should_sample(trace_id):
+            emit_trace({
+                "trace_id": trace_id,
+                "model": name,
+                "version": resolved_version,
+                "num_tiles": int(stack.shape[0]),
+                "batch_size": max((p.timings.get("batch_size", 1) for p in pending), default=1),
+                "elapsed_ms": round(elapsed_ms, 3),
+                "spans": {k: round(v, 3) for k, v in spans.items()},
+                "ts": time.time(),
+            })
         maps_out = class_maps.tolist() if "tiles" in body else class_maps[0].tolist()
         if return_proba:
             payload["proba"] = probs.tolist() if "tiles" in body else probs[0].tolist()
@@ -280,10 +357,26 @@ class InferenceService:
 
     def batcher_stats(self) -> dict:
         with self._lock:
-            return {
-                f"{name}/{version}": batcher.stats().to_dict()
-                for (name, version), batcher in sorted(self._batchers.items())
-            }
+            batchers = sorted(self._batchers.items())
+        stats = {}
+        for (name, version), batcher in batchers:
+            entry = batcher.stats().to_dict()
+            entry["flush_size_histogram"] = batcher.flush_size_histogram()
+            stats[f"{name}/{version}"] = entry
+        return stats
+
+    def plan_cache_stats(self) -> dict:
+        """Per-warm-model ``PlanCache.info()`` — hits, misses, evictions,
+        arena bytes — from every classifier that compiles plans (``/stats``)."""
+        stats: dict = {}
+        for name, version in self.registry.loaded_versions():
+            classifier = self.registry.warm_classifier(name, version)
+            if classifier is None:  # raced retirement between the two reads
+                continue
+            info = classifier.plan_cache_info()
+            if info is not None:
+                stats[f"{name}/{version}"] = info
+        return stats
 
     def backend_stats(self) -> dict:
         """Execution-backend occupancy per warm model (``/stats``).
@@ -310,6 +403,8 @@ class InferenceService:
         return {
             "batchers": self.batcher_stats(),
             "backends": self.backend_stats(),
+            "plan_caches": self.plan_cache_stats(),
+            "metrics": get_registry().to_dict(),
             "warm_models": {
                 "count": self.registry.warm_count(),
                 "max_warm": self.registry.max_warm,
@@ -358,6 +453,14 @@ def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPReques
             self.end_headers()
             self.wfile.write(data)
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             try:
                 if self.path in ("/healthz", "/health"):
@@ -366,6 +469,12 @@ def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPReques
                     self._send_json(200, service.models_payload())
                 elif self.path == "/stats":
                     self._send_json(200, service.stats_payload())
+                elif self.path == "/metrics":
+                    self._send_text(
+                        200,
+                        get_registry().render_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
                 else:
                     self._send_json(404, {"error": f"unknown path {self.path!r}"})
             except Exception as exc:  # noqa: BLE001 - must answer the socket
@@ -375,35 +484,44 @@ def _make_handler(service: InferenceService, quiet: bool) -> type[BaseHTTPReques
             if self.path != "/predict":
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return
+            # Honour the caller's correlation id, mint one otherwise; every
+            # response — success or error — carries it in the body and echoes
+            # it in the X-Request-Id header.
+            trace_id = (self.headers.get("X-Request-Id") or "").strip() or new_trace_id()
+            echo = {"X-Request-Id": trace_id}
             try:
                 length = int(self.headers.get("Content-Length", "0"))
                 try:
                     body = json.loads(self.rfile.read(length) or b"{}")
                 except json.JSONDecodeError as exc:
                     raise ValueError(f"request body is not valid JSON: {exc}") from exc
-                self._send_json(200, service.predict_payload(body))
+                self._send_json(200, service.predict_payload(body, trace_id=trace_id),
+                                headers=echo)
             except (ValueError, KeyError) as exc:
                 # str(KeyError) wraps the message in repr quotes; unwrap it.
                 message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
-                self._send_json(400, {"error": message})
+                self._send_json(400, {"error": message, "trace_id": trace_id}, headers=echo)
             except (OverloadedError, CircuitOpenError) as exc:
                 # Shed: tell the client when it is worth coming back.
                 retry_after = max(0.001, exc.retry_after_s)
                 self._send_json(
                     503,
-                    {"error": str(exc), "retry_after_s": round(retry_after, 3)},
-                    headers={"Retry-After": f"{retry_after:.3f}"},
+                    {"error": str(exc), "retry_after_s": round(retry_after, 3),
+                     "trace_id": trace_id},
+                    headers={"Retry-After": f"{retry_after:.3f}", **echo},
                 )
             except DeadlineExceeded as exc:
                 self._send_json(
                     504,
                     {"error": str(exc), "stage": exc.stage,
-                     "stage_timings": exc.stage_timings or {}},
+                     "stage_timings": exc.stage_timings or {}, "trace_id": trace_id},
+                    headers=echo,
                 )
             except TimeoutError as exc:
-                self._send_json(504, {"error": str(exc), "stage": "", "stage_timings": {}})
+                self._send_json(504, {"error": str(exc), "stage": "", "stage_timings": {},
+                                      "trace_id": trace_id}, headers=echo)
             except Exception as exc:  # noqa: BLE001 - must answer the socket
-                self._send_json(500, {"error": str(exc)})
+                self._send_json(500, {"error": str(exc), "trace_id": trace_id}, headers=echo)
 
     return Handler
 

@@ -149,3 +149,21 @@ class CompiledUNet:
 
     def cache_info(self) -> dict:
         return self._cache.info()
+
+    def enable_profiling(self, enabled: bool = True) -> None:
+        """Toggle per-step timing on every currently cached plan.
+
+        Plans compiled *after* this call start unprofiled — re-enable after
+        warming new shapes (the ``repro-seaice profile`` runner warms first,
+        then enables, so its measured iterations all profile).
+        """
+        for _shape, plan in self._cache.items():
+            plan.enable_profiling(enabled)
+
+    def profile_info(self) -> dict[tuple[int, ...], list[dict]]:
+        """``{input_shape: per-step timings}`` for every profiled cached plan."""
+        return {
+            shape: info
+            for shape, plan in self._cache.items()
+            if (info := plan.profile_info())
+        }

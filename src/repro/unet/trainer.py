@@ -17,6 +17,7 @@ import numpy as np
 from ..data.loader import BatchLoader
 from ..metrics.classification import ClassificationReport, classification_report
 from ..nn import Adam, CategoricalCrossEntropy, Optimizer, load_checkpoint, save_checkpoint
+from ..obs.profile import LayerTimer, _named_top_blocks
 from .model import UNet, UNetConfig
 
 __all__ = ["EpochStats", "TrainingHistory", "UNetTrainer"]
@@ -30,6 +31,9 @@ class EpochStats:
     loss: float
     time_s: float
     images_per_s: float
+    #: Per-phase / per-layer timings (only when the trainer's profiling is on):
+    #: ``{"phases_ms": {forward, loss, backward, optimizer}, "layers": {...}}``.
+    profile: dict | None = None
 
 
 @dataclass
@@ -91,10 +95,22 @@ class UNetTrainer:
         self.loss_fn = CategoricalCrossEntropy(class_weights=class_weights)
         self.optimizer = optimizer if optimizer is not None else Adam(self.model.parameters(), lr=learning_rate)
         self.history = TrainingHistory()
+        self._profile_enabled = False
+        self._phase_acc: dict[str, float] | None = None
 
     # ------------------------------------------------------------------ #
+    def enable_profiling(self, enabled: bool = True) -> None:
+        """Record per-phase and per-layer wall time for subsequent epochs.
+
+        Each :class:`EpochStats` produced while enabled carries a ``profile``
+        dict; the hot path pays nothing while disabled.
+        """
+        self._profile_enabled = bool(enabled)
+
     def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
         """One optimisation step on a single batch; returns the batch loss."""
+        if self._phase_acc is not None:
+            return self._train_step_profiled(x, y)
         self.model.train()
         logits = self.model.forward(x)
         loss = self.loss_fn.forward(logits, y)
@@ -103,8 +119,46 @@ class UNetTrainer:
         self.optimizer.step()
         return loss
 
+    def _train_step_profiled(self, x: np.ndarray, y: np.ndarray) -> float:
+        acc = self._phase_acc
+        self.model.train()
+        t0 = time.perf_counter()
+        logits = self.model.forward(x)
+        t1 = time.perf_counter()
+        loss = self.loss_fn.forward(logits, y)
+        t2 = time.perf_counter()
+        self.optimizer.zero_grad()
+        self.model.backward(self.loss_fn.backward(), need_input_grad=False)
+        t3 = time.perf_counter()
+        self.optimizer.step()
+        t4 = time.perf_counter()
+        acc["forward_ms"] += (t1 - t0) * 1e3
+        acc["loss_ms"] += (t2 - t1) * 1e3
+        acc["backward_ms"] += (t3 - t2) * 1e3
+        acc["optimizer_ms"] += (t4 - t3) * 1e3
+        return loss
+
     def train_epoch(self, loader: BatchLoader, epoch: int = 0) -> EpochStats:
         """One pass over the loader."""
+        profile = None
+        if self._profile_enabled:
+            self._phase_acc = {
+                "forward_ms": 0.0, "loss_ms": 0.0, "backward_ms": 0.0, "optimizer_ms": 0.0,
+            }
+            with LayerTimer(_named_top_blocks(self.model)) as timer:
+                stats = self._run_epoch(loader, epoch)
+            profile = {
+                "phases_ms": {k: round(v, 3) for k, v in self._phase_acc.items()},
+                "layers": timer.to_dict(),
+            }
+            self._phase_acc = None
+            stats.profile = profile
+        else:
+            stats = self._run_epoch(loader, epoch)
+        self.history.append(stats)
+        return stats
+
+    def _run_epoch(self, loader: BatchLoader, epoch: int) -> EpochStats:
         start = time.perf_counter()
         losses = []
         num_images = 0
@@ -112,14 +166,12 @@ class UNetTrainer:
             losses.append(self.train_step(x, y))
             num_images += x.shape[0]
         elapsed = time.perf_counter() - start
-        stats = EpochStats(
+        return EpochStats(
             epoch=epoch,
             loss=float(np.mean(losses)) if losses else float("nan"),
             time_s=elapsed,
             images_per_s=num_images / elapsed if elapsed > 0 else 0.0,
         )
-        self.history.append(stats)
-        return stats
 
     def fit(self, loader: BatchLoader, epochs: int = 10, verbose: bool = False) -> TrainingHistory:
         """Train for ``epochs`` passes over the loader (paper default: 50)."""
