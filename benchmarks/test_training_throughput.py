@@ -19,12 +19,13 @@ import time
 import numpy as np
 import pytest
 
+from repro.distributed import DGXTrainingModel, PipeRingAllReducer
 from repro.nn import Adam, CategoricalCrossEntropy, Conv2D, MaxPool2D, workspace_nbytes
 from repro.nn.layers import Dropout, ReLU, UpSample2D
 from repro.unet import UNet, UNetConfig
 from repro.unet.trainer import UNetTrainer
 
-from conftest import BENCH_SMOKE, print_rows, write_bench_json
+from conftest import BENCH_SMOKE, print_rows, update_bench_json, write_bench_json
 
 DEPTH = 3
 BASE_CHANNELS = 16
@@ -239,3 +240,84 @@ def test_training_step_equivalence_fast_vs_seed_path():
         loss_seed = seed_tr.train_step(x, y)
         loss_fast = fast_tr.train_step(x, y)
         assert loss_fast == pytest.approx(loss_seed, abs=1e-4), f"diverged at step {step}"
+
+
+# --------------------------------------------------------------------------- #
+# Multi-process all-reduce vs the DGX performance model
+# --------------------------------------------------------------------------- #
+ALLREDUCE_ROUNDS = 2 if BENCH_SMOKE else 4
+ALLREDUCE_SMALL = 20_000    # float64 elements
+ALLREDUCE_LARGE = 200_000
+
+
+def _measure_pipe_ring(workers: int, elements: int, rounds: int) -> float:
+    """Best-of-N wall time of one PipeRingAllReducer.allreduce call."""
+    rng = np.random.default_rng(workers * 1000 + elements)
+    buffers = [rng.normal(size=(elements,)) for _ in range(workers)]
+    reducer = PipeRingAllReducer(workers, timeout_s=60.0)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        results = reducer.allreduce(buffers)
+        best = min(best, time.perf_counter() - start)
+    np.testing.assert_allclose(results[0], np.mean(buffers, axis=0), rtol=1e-9)
+    return best
+
+
+@pytest.mark.benchmark(group="training")
+def test_allreduce_cost_matches_perfmodel():
+    """Calibrate the DGX model's communication term from real multi-process
+    ring all-reduces at p=2 (two buffer sizes isolate bandwidth from fixed
+    overhead), predict the p=4 cost, and validate against a p=4 measurement.
+    The measured/predicted ratio lands in BENCH_training_throughput.json."""
+    t_small = _measure_pipe_ring(2, ALLREDUCE_SMALL, ALLREDUCE_ROUNDS)
+    t_large = _measure_pipe_ring(2, ALLREDUCE_LARGE, ALLREDUCE_ROUNDS)
+
+    # At p=2 the ring model is t = S/BW + 2L (S = buffer bytes): two sizes
+    # give effective bandwidth (pickling + pipes included) and fixed latency.
+    small_bytes = ALLREDUCE_SMALL * 8
+    large_bytes = ALLREDUCE_LARGE * 8
+    bandwidth = (large_bytes - small_bytes) / max(t_large - t_small, 1e-9)
+    latency = max((t_small - small_bytes / bandwidth) / 2.0, 1e-6)
+
+    model = DGXTrainingModel(
+        model_megabytes=large_bytes / 1e6,
+        interconnect_gb_per_s=bandwidth / 1e9,
+        allreduce_latency_s=latency,
+    )
+    predicted = model.allreduce_time_per_step(4)
+    measured = _measure_pipe_ring(4, ALLREDUCE_LARGE, ALLREDUCE_ROUNDS)
+    ratio = measured / predicted
+
+    print_rows(
+        f"pipe-ring all-reduce vs perf model ({ALLREDUCE_LARGE} float64, "
+        f"bw {bandwidth / 1e6:.0f} MB/s, latency {latency * 1e3:.1f} ms)",
+        [{"workers": 2, "measured_ms": round(t_large * 1e3, 2)},
+         {"workers": 4, "measured_ms": round(measured * 1e3, 2),
+          "predicted_ms": round(predicted * 1e3, 2),
+          "measured_over_predicted": round(ratio, 3)}],
+    )
+    update_bench_json("training_throughput", "allreduce_perfmodel", {
+        "elements": ALLREDUCE_LARGE,
+        "rounds": ALLREDUCE_ROUNDS,
+        "smoke": BENCH_SMOKE,
+        "calibration": {
+            "p2_small_s": round(t_small, 5),
+            "p2_large_s": round(t_large, 5),
+            "effective_bandwidth_gb_per_s": round(bandwidth / 1e9, 4),
+            "fixed_latency_s": round(latency, 5),
+        },
+        "p4_measured_s": round(measured, 5),
+        "p4_predicted_s": round(predicted, 5),
+        "measured_over_predicted": round(ratio, 3),
+    })
+
+    # Process spawn / teardown noise dominates at this scale, so the gate is
+    # deliberately loose: the model must be right to within an order of
+    # magnitude, which still catches a broken cost formula outright.
+    assert predicted > 0
+    if not BENCH_SMOKE:
+        assert 0.05 <= ratio <= 20.0, (
+            f"perf model off by more than an order of magnitude: measured "
+            f"{measured * 1e3:.2f} ms vs predicted {predicted * 1e3:.2f} ms"
+        )

@@ -72,8 +72,63 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train_elastic(args: argparse.Namespace) -> int:
+    """Elastic multi-process training (``train --workers N [--resume]``).
+
+    Trains on auto-labelled synthetic tiles with real forked workers,
+    printing a machine-readable summary (ring rebuilds, respawns, resumes,
+    per-epoch losses and a SHA-256 weights digest) that the CI
+    dist-chaos-smoke arm asserts recovery and resume parity on.
+    """
+    import time
+
+    from .data import BatchLoader, build_dataset
+    from .distributed import ElasticTrainer
+    from .labeling.autolabel import autolabel_batch
+    from .reliability import fault_stats, faults_enabled
+    from .unet import UNetConfig
+
+    dataset = build_dataset(
+        num_scenes=args.scenes, scene_size=args.scene_size,
+        tile_size=args.tile_size, base_seed=args.seed,
+    )
+    labels = autolabel_batch(dataset.images, apply_cloud_filter=False)
+    loader = BatchLoader(dataset.images, labels, batch_size=args.batch_size,
+                         shuffle=True, augment=True, seed=args.seed)
+    config = UNetConfig(depth=2, base_channels=8, dropout=0.2, seed=args.seed)
+    start = time.perf_counter()
+    with ElasticTrainer(
+        num_workers=args.workers,
+        config=config,
+        micro_shards=args.micro_shards,
+        seed=args.seed,
+        step_timeout_s=args.step_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    ) as trainer:
+        history = trainer.fit(loader, epochs=args.epochs, resume=args.resume)
+        summary = trainer.stats()
+    summary.update({
+        "elapsed_s": round(time.perf_counter() - start, 3),
+        "epochs": len(history.epochs),
+        # Full-precision losses on purpose: the resume-parity check compares
+        # them bit-for-bit across runs.
+        "losses": history.losses,
+        "tiles": int(dataset.images.shape[0]),
+        "batch_size": args.batch_size,
+        "resumed": bool(args.resume),
+    })
+    if faults_enabled():
+        summary["faults"] = fault_stats()
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from .workflow import AccuracyExperimentConfig, run_accuracy_experiment
+
+    if args.workers > 0:
+        return _cmd_train_elastic(args)
 
     config = AccuracyExperimentConfig(
         num_scenes=args.scenes,
@@ -381,12 +436,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
     p.set_defaults(func=_cmd_scaling)
 
-    p = sub.add_parser("train", help="run the U-Net-Man vs U-Net-Auto experiment (Tables IV/V)")
+    p = sub.add_parser(
+        "train",
+        help="run the U-Net-Man vs U-Net-Auto experiment (Tables IV/V), or — "
+             "with --workers N — elastic multi-process distributed training",
+    )
     p.add_argument("--scenes", type=int, default=6)
     p.add_argument("--scene-size", type=int, default=128)
     p.add_argument("--tile-size", type=int, default=32)
     p.add_argument("--epochs", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=0,
+                   help="elastic training worker processes (0 = the serial "
+                        "Tables IV/V experiment)")
+    p.add_argument("--micro-shards", type=int, default=None,
+                   help="fixed micro-shard count M (default: --workers); runs "
+                        "with equal M are bit-identical for any worker count")
+    p.add_argument("--batch-size", type=int, default=32, help="global batch size")
+    p.add_argument("--step-timeout", type=float, default=60.0,
+                   help="per-reply deadline (s) before a worker is evicted")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="directory for atomic ckpt-*.npz checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="checkpoint every N global steps (epoch ends always)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume bit-exactly from the newest readable checkpoint")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("prep", help="time the scene-preparation pipeline")

@@ -158,6 +158,21 @@ class BatchLoader:
             return n // self.batch_size
         return int(np.ceil(n / self.batch_size))
 
+    # ------------------------------------------------------------------ #
+    def rng_state(self) -> dict:
+        """JSON-serialisable snapshot of the loader's private generator.
+
+        Captured into checkpoints so a resumed run replays the exact same
+        shuffle permutations and augmentation draws as the uninterrupted
+        one — shuffling and augmentation both consume this generator, so
+        without the snapshot a resume silently forks the data trajectory.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
     @property
     def num_samples(self) -> int:
         return int(self.images.shape[0])

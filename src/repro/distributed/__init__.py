@@ -1,17 +1,28 @@
 """Distributed U-Net training: ring all-reduce, Horovod-like API, data parallelism, DGX model."""
 
-from .allreduce import AllReduceStats, PipeRingAllReducer, naive_allreduce, ring_allreduce
+from .allreduce import (
+    AllReduceStats,
+    PipeRingAllReducer,
+    RingBroken,
+    naive_allreduce,
+    ring_allreduce,
+)
 from .data_parallel import DataParallelTrainer, ShardedBatches
+from .elastic import ElasticTrainer, ElasticTrainingError, latest_checkpoints
 from .horovod import DistributedOptimizer, WorkerGroup, broadcast_parameters
 from .perfmodel import PAPER_TABLE3_ROWS, DGXTrainingModel, paper_table3
 
 __all__ = [
     "AllReduceStats",
     "PipeRingAllReducer",
+    "RingBroken",
     "naive_allreduce",
     "ring_allreduce",
     "DataParallelTrainer",
     "ShardedBatches",
+    "ElasticTrainer",
+    "ElasticTrainingError",
+    "latest_checkpoints",
     "DistributedOptimizer",
     "WorkerGroup",
     "broadcast_parameters",

@@ -24,11 +24,33 @@ Two implementations are provided:
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["AllReduceStats", "ring_allreduce", "naive_allreduce", "PipeRingAllReducer"]
+from ..reliability import fault_point
+
+__all__ = [
+    "AllReduceStats",
+    "RingBroken",
+    "ring_allreduce",
+    "naive_allreduce",
+    "PipeRingAllReducer",
+]
+
+
+class RingBroken(RuntimeError):
+    """A ring neighbour died or stalled past its deadline during all-reduce.
+
+    ``rank`` identifies the worker that stopped responding — the caller can
+    evict exactly that rank and rebuild the ring with the survivors.
+    """
+
+    def __init__(self, rank: int, message: str | None = None) -> None:
+        super().__init__(message or f"ring all-reduce broken at rank {rank}")
+        self.rank = int(rank)
 
 
 @dataclass
@@ -148,8 +170,38 @@ def ring_allreduce(buffers: list[np.ndarray], average: bool = True) -> tuple[lis
 # --------------------------------------------------------------------------- #
 # Multi-process ring
 # --------------------------------------------------------------------------- #
-def _ring_worker(rank: int, size: int, recv_conn, send_conn, data: np.ndarray, result_queue) -> None:
+def _report_broken(result_queue, rank: int, left: int) -> None:
+    result_queue.put(("broken", rank, left))
+    # Flush before dying: Queue.put only hands the item to a feeder thread,
+    # and a bare os._exit would kill it with the report still buffered.
+    result_queue.close()
+    result_queue.join_thread()
+    os._exit(171)
+
+
+def _ring_recv(recv_conn, rank: int, size: int, timeout_s: float, result_queue):
+    """Receive from the left neighbour, or report the break and die.
+
+    A dead or hung neighbour used to park this worker on a blocking
+    ``recv`` forever; now a ``poll`` deadline (or the EOF of a closed pipe)
+    converts the silence into a ``("broken", reporter, failed)`` message the
+    parent turns into :class:`RingBroken`.
+    """
+    left = (rank - 1) % size
+    try:
+        if not recv_conn.poll(timeout_s):
+            _report_broken(result_queue, rank, left)
+        return recv_conn.recv()
+    except (EOFError, OSError):
+        _report_broken(result_queue, rank, left)
+
+
+def _ring_worker(
+    rank: int, size: int, recv_conn, send_conn, data: np.ndarray, result_queue,
+    timeout_s: float,
+) -> None:
     """Worker process body: runs the ring schedule over pipes."""
+    fault_point("allreduce_stall")
     flat = np.asarray(data, dtype=np.float64).ravel().copy()
     n = flat.size
     slices = []
@@ -158,21 +210,37 @@ def _ring_worker(rank: int, size: int, recv_conn, send_conn, data: np.ndarray, r
         slices.append(slice(start, start + len(chunk)))
         start += len(chunk)
 
+    # Everyone sending before receiving deadlocks as soon as a chunk exceeds
+    # the OS pipe capacity (~64 KB): the whole ring blocks in send() with
+    # nobody draining.  Rank 0 receives first, which breaks the cyclic wait —
+    # its neighbour's send completes, and the unblocking propagates around
+    # the ring.  The sent and received chunks of one step are never the same
+    # slice (indices differ by 1 mod p), so the reorder is trajectory-safe.
+    recv_first = rank == 0
+
     for step in range(size - 1):
         send_idx = (rank - step) % size
-        send_conn.send(flat[slices[send_idx]])
-        incoming = recv_conn.recv()
         recv_idx = (rank - 1 - step) % size
+        if recv_first:
+            incoming = _ring_recv(recv_conn, rank, size, timeout_s, result_queue)
+            send_conn.send(flat[slices[send_idx]])
+        else:
+            send_conn.send(flat[slices[send_idx]])
+            incoming = _ring_recv(recv_conn, rank, size, timeout_s, result_queue)
         flat[slices[recv_idx]] += incoming
 
     for step in range(size - 1):
         send_idx = (rank + 1 - step) % size
-        send_conn.send(flat[slices[send_idx]])
-        incoming = recv_conn.recv()
         recv_idx = (rank - step) % size
+        if recv_first:
+            incoming = _ring_recv(recv_conn, rank, size, timeout_s, result_queue)
+            send_conn.send(flat[slices[send_idx]])
+        else:
+            send_conn.send(flat[slices[send_idx]])
+            incoming = _ring_recv(recv_conn, rank, size, timeout_s, result_queue)
         flat[slices[recv_idx]] = incoming
 
-    result_queue.put((rank, flat / size))
+    result_queue.put(("ok", rank, flat / size))
 
 
 class PipeRingAllReducer:
@@ -183,16 +251,23 @@ class PipeRingAllReducer:
     what the data-parallel trainer uses in its inner loop.
     """
 
-    def __init__(self, num_workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self, num_workers: int, start_method: str | None = None, timeout_s: float = 60.0
+    ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
+        self.timeout_s = float(timeout_s)
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self._ctx = mp.get_context(start_method)
 
     def allreduce(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
-        """Average the per-worker buffers; entry ``i`` is worker ``i``'s input."""
+        """Average the per-worker buffers; entry ``i`` is worker ``i``'s input.
+
+        Raises :class:`RingBroken` (carrying the failing rank) instead of
+        hanging when a worker dies or stalls past ``timeout_s``.
+        """
         arrays = _check_buffers(buffers)
         if len(arrays) != self.num_workers:
             raise ValueError(f"expected {self.num_workers} buffers, got {len(arrays)}")
@@ -209,17 +284,35 @@ class PipeRingAllReducer:
             send_conn = pipes[rank][1]
             proc = self._ctx.Process(
                 target=_ring_worker,
-                args=(rank, p, recv_conn, send_conn, arrays[rank], result_queue),
+                args=(rank, p, recv_conn, send_conn, arrays[rank], result_queue,
+                      self.timeout_s),
             )
             proc.start()
             workers.append(proc)
 
         gathered: dict[int, np.ndarray] = {}
-        for _ in range(p):
-            rank, flat = result_queue.get()
-            gathered[rank] = flat
-        for proc in workers:
-            proc.join()
+        try:
+            for _ in range(p):
+                try:
+                    status, rank, payload = result_queue.get(timeout=self.timeout_s + 10.0)
+                except queue.Empty:
+                    dead = [r for r, proc in enumerate(workers)
+                            if proc.exitcode not in (None, 0)]
+                    raise RingBroken(
+                        dead[0] if dead else 0,
+                        f"no ring progress within {self.timeout_s + 10.0:.1f}s "
+                        f"(dead ranks: {dead or 'none detected'})",
+                    ) from None
+                if status == "broken":
+                    raise RingBroken(
+                        payload, f"rank {rank} timed out waiting for rank {payload}"
+                    )
+                gathered[rank] = payload
+        finally:
+            for proc in workers:
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join()
 
         shape = arrays[0].shape
         return [gathered[rank].reshape(shape) for rank in range(p)]

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.loader import BatchLoader
-from ..nn import Adam, CategoricalCrossEntropy
+from ..nn import Adam, CategoricalCrossEntropy, load_checkpoint, save_checkpoint
 from ..unet.model import UNet, UNetConfig
 from ..unet.trainer import EpochStats, TrainingHistory
 from .horovod import DistributedOptimizer, WorkerGroup, broadcast_parameters
@@ -152,6 +152,37 @@ class DataParallelTrainer:
                 print(f"[{self.num_workers} workers] epoch {epoch + 1}: loss={stats.loss:.4f} "
                       f"time={stats.time_s:.2f}s")
         return self.history
+
+    # ------------------------------------------------------------------ #
+    def resize_workers(self, num_workers: int) -> None:
+        """Elastically shrink or grow the worker group between steps.
+
+        Synchronous SGD keeps every replica equal, so changing the worker
+        count only re-shards future batches — the master weights carry over
+        unchanged (replicas are re-broadcast in strict mode).
+        """
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.group.resize(num_workers)
+        self._sharder = ShardedBatches(num_workers)
+        if self.keep_replicas:
+            self.replicas = [UNet(self.config) for _ in range(num_workers)]
+            broadcast_parameters(self.master, self.replicas)
+
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path, metadata: dict | None = None,
+                        extra_state: dict | None = None) -> str:
+        """Checkpoint the master replica + optimiser (all replicas are equal)."""
+        return save_checkpoint(self.master, self.optimizer.optimizer, path,
+                               metadata=metadata, extra_state=extra_state)
+
+    def load_checkpoint(self, path) -> dict:
+        """Restore a checkpoint into the master (and re-broadcast replicas)."""
+        extra = load_checkpoint(self.master, self.optimizer.optimizer, path)
+        if self.keep_replicas:
+            broadcast_parameters(self.master, self.replicas)
+        return extra
 
     # ------------------------------------------------------------------ #
     def replicas_synchronised(self, atol: float = 1e-6) -> bool:

@@ -33,6 +33,9 @@ class WorkerGroup:
             raise ValueError("worker group size must be >= 1")
         self._size = size
         self.last_stats: AllReduceStats | None = None
+        #: Times the group changed size (elastic shrink after a worker loss,
+        #: grow on rejoin) — the in-process analogue of a ring rebuild.
+        self.resizes = 0
 
     @classmethod
     def init(cls, size: int) -> "WorkerGroup":
@@ -45,6 +48,20 @@ class WorkerGroup:
 
     def ranks(self) -> range:
         return range(self._size)
+
+    def resize(self, size: int) -> None:
+        """Elastically change the group size (shrink on loss, grow on rejoin).
+
+        Subsequent :meth:`allreduce_gradients` calls expect gradients from
+        exactly the new worker count; resizing to the current size is a
+        no-op and does not count as a rebuild.
+        """
+        if size < 1:
+            raise ValueError("worker group size must be >= 1")
+        if size == self._size:
+            return
+        self._size = size
+        self.resizes += 1
 
     # ------------------------------------------------------------------ #
     def allreduce_gradients(self, per_worker_grads: list[list[np.ndarray]]) -> list[np.ndarray]:

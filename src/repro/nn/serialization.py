@@ -22,7 +22,7 @@ import zipfile
 
 import numpy as np
 
-from ..reliability import fault_point
+from ..reliability import FaultInjected, fault_point
 from .module import Module
 from .optimizers import Optimizer
 
@@ -39,6 +39,7 @@ __all__ = [
 _MODEL_PREFIX = "model/"
 _OPTIM_PREFIX = "optim/"
 _META_KEY = "__meta__/json"
+_EXTRA_KEY = "__extra__/json"
 
 
 class CheckpointError(RuntimeError):
@@ -79,6 +80,15 @@ def _atomic_savez(path: str, state: dict[str, np.ndarray]) -> None:
     try:
         with open(tmp_path, "wb") as stream:
             np.savez_compressed(stream, **state)
+        try:
+            fault_point("ckpt_corrupt_write")
+        except FaultInjected:
+            # Simulate a torn write that made it to the final name (bitrot,
+            # a non-atomic writer): truncate the archive, then publish it
+            # anyway so the resume path has to skip past it.
+            size = os.path.getsize(tmp_path)
+            with open(tmp_path, "r+b") as stream:
+                stream.truncate(max(1, size // 2))
         os.replace(tmp_path, path)
     finally:
         if os.path.exists(tmp_path):
@@ -118,10 +128,17 @@ def load_weights(module: Module, path: str | os.PathLike) -> Module:
 
 
 def save_checkpoint(
-    module: Module, optimizer: Optimizer, path: str | os.PathLike, metadata: dict | None = None
+    module: Module,
+    optimizer: Optimizer,
+    path: str | os.PathLike,
+    metadata: dict | None = None,
+    extra_state: dict | None = None,
 ) -> str:
     """Write model parameters and the complete optimiser state to one ``.npz``.
 
+    ``extra_state`` (any JSON-serialisable dict — e.g. the training cursor and
+    data-loader RNG state the elastic trainer needs for bit-exact resume) is
+    embedded alongside the tensors and comes back from :func:`load_checkpoint`.
     Returns the path written (with ``.npz`` appended if missing).
     """
     path = str(path)
@@ -133,31 +150,58 @@ def save_checkpoint(
     for key, value in optimizer.state_dict().items():
         state[_OPTIM_PREFIX + key] = np.asarray(value)
     state.update(_metadata_entry(metadata))
+    if extra_state is not None:
+        try:
+            payload = json.dumps(extra_state, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"checkpoint extra_state must be JSON-serialisable: {exc}") from exc
+        state[_EXTRA_KEY] = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
     _atomic_savez(path, state)
     return path
 
 
-def load_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLike) -> None:
-    """Restore a checkpoint written by :func:`save_checkpoint` (strict match)."""
+def load_checkpoint(module: Module, optimizer: Optimizer, path: str | os.PathLike) -> dict:
+    """Restore a checkpoint written by :func:`save_checkpoint` (strict match).
+
+    Returns the ``extra_state`` dict the checkpoint was saved with (``{}``
+    when absent).  Every structural problem — a key that belongs to neither
+    the model nor the optimiser, a weights-only archive, a member that fails
+    to decompress — surfaces as :class:`CheckpointError`, matching how the
+    serving registry quarantines unreadable archives.
+    """
     path = _normalize_path(path)
     model_state: dict[str, np.ndarray] = {}
     optim_state: dict[str, np.ndarray] = {}
+    extra_raw: bytes | None = None
     with _open_archive(path) as archive:
-        for key in archive.files:
-            if key == _META_KEY:
-                continue
-            if key.startswith(_MODEL_PREFIX):
-                model_state[key[len(_MODEL_PREFIX):]] = archive[key]
-            elif key.startswith(_OPTIM_PREFIX):
-                optim_state[key[len(_OPTIM_PREFIX):]] = archive[key]
-            else:
-                raise KeyError(f"unexpected checkpoint key {key!r} in {path!r}")
+        try:
+            for key in archive.files:
+                if key == _META_KEY:
+                    continue
+                if key == _EXTRA_KEY:
+                    extra_raw = bytes(archive[key])
+                elif key.startswith(_MODEL_PREFIX):
+                    model_state[key[len(_MODEL_PREFIX):]] = archive[key]
+                elif key.startswith(_OPTIM_PREFIX):
+                    optim_state[key[len(_OPTIM_PREFIX):]] = archive[key]
+                else:
+                    raise CheckpointError(f"unexpected checkpoint key {key!r} in {path!r}")
+        except (zipfile.BadZipFile, EOFError, OSError) as exc:
+            raise CheckpointError(
+                f"corrupt or unreadable checkpoint archive {path!r}: {exc}"
+            ) from exc
     if not optim_state:
-        raise KeyError(
+        raise CheckpointError(
             f"checkpoint {path!r} has no optimizer state (was it saved with save_weights?)"
         )
     module.load_state_dict(model_state)
     optimizer.load_state_dict(optim_state)
+    if extra_raw is None:
+        return {}
+    try:
+        return json.loads(extra_raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"corrupt extra-state block in {path!r}: {exc}") from exc
 
 
 def read_metadata(path: str | os.PathLike) -> dict:

@@ -21,6 +21,15 @@ Known fault points and what firing does:
                         published shared-memory segment)
 ``corrupt_archive_read`` raises :class:`FaultInjected` while opening a
                         checkpoint archive (surfaces as ``CheckpointError``)
+``trainer_worker_crash`` an elastic-training worker calls ``os._exit(170)``
+                        mid-step (the parent must rebuild the ring and
+                        finish the step on the survivors)
+``allreduce_stall``     a ring/fold participant sleeps ``param`` seconds
+                        (default 600 — tripping the per-hop reply deadline,
+                        which surfaces as ``RingBroken``)
+``ckpt_corrupt_write``  truncates the checkpoint temp file before it is
+                        renamed into place (a torn write the resume path
+                        must skip past)
 ===================== =====================================================
 
 Arming uses ``configure_faults({"worker_crash": FaultSpec(times=1)})`` or
@@ -59,9 +68,12 @@ _ACTIONS = {
     "slow_predict": "sleep",
     "shm_attach_fail": "raise",
     "corrupt_archive_read": "raise",
+    "trainer_worker_crash": "exit",
+    "allreduce_stall": "sleep",
+    "ckpt_corrupt_write": "raise",
 }
 
-_SLEEP_DEFAULTS = {"worker_hang": 600.0, "slow_predict": 0.05}
+_SLEEP_DEFAULTS = {"worker_hang": 600.0, "slow_predict": 0.05, "allreduce_stall": 600.0}
 
 
 class FaultInjected(OSError):

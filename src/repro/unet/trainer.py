@@ -187,18 +187,26 @@ class UNetTrainer:
         return self.history
 
     # ------------------------------------------------------------------ #
-    def save_checkpoint(self, path) -> str:
-        """Persist model weights plus the full optimiser state for exact resume."""
-        return save_checkpoint(self.model, self.optimizer, path)
+    def save_checkpoint(self, path, metadata: dict | None = None,
+                        extra_state: dict | None = None) -> str:
+        """Persist model weights plus the full optimiser state for exact resume.
 
-    def load_checkpoint(self, path) -> None:
+        ``extra_state`` (JSON-serialisable) rides along in the archive — the
+        elastic trainer uses it for the epoch/step cursor and loader RNG
+        state — and comes back from :meth:`load_checkpoint`.
+        """
+        return save_checkpoint(self.model, self.optimizer, path,
+                               metadata=metadata, extra_state=extra_state)
+
+    def load_checkpoint(self, path) -> dict:
         """Restore a checkpoint saved by :meth:`save_checkpoint`.
 
         Both the model parameters and the optimiser's adaptive state (Adam
         moments / step count, SGD velocity) come back, so training continues
-        exactly where the saved run stopped.
+        exactly where the saved run stopped.  Returns the ``extra_state``
+        the checkpoint carries (``{}`` when absent).
         """
-        load_checkpoint(self.model, self.optimizer, path)
+        return load_checkpoint(self.model, self.optimizer, path)
 
     # ------------------------------------------------------------------ #
     def evaluate(

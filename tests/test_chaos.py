@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import multiprocessing as mp
 import os
 import signal
 import threading
@@ -22,6 +23,9 @@ import pytest
 
 from repro.backend import ProcessBackend, SerialBackend, available_backends
 from repro.backend.store import SEGMENT_PREFIX
+from repro.data import BatchLoader
+from repro.distributed import ElasticTrainer, latest_checkpoints
+from repro.nn import Adam, CheckpointError, load_checkpoint
 from repro.reliability import FaultSpec, configure_faults, fault_stats, reset_faults
 from repro.serving import InferenceService, ModelRegistry, ServiceConfig, make_server
 from repro.unet import InferenceConfig, UNet, UNetConfig, tiny_unet_config
@@ -266,3 +270,156 @@ class TestServiceChaos:
         assert health["status"] == "ok"
         assert health["degraded_reasons"] == []
         assert health["shed"] == 0 and health["expired"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Elastic training chaos
+# --------------------------------------------------------------------------- #
+_ELASTIC_CFG = UNetConfig(depth=2, base_channels=4, dropout=0.2, seed=7)
+
+
+def _elastic_loader(images, labels, seed: int = 5) -> BatchLoader:
+    return BatchLoader(images, labels, batch_size=4, shuffle=True, augment=True,
+                       seed=seed)
+
+
+def _elastic_victim(images, labels, ckpt_dir: str) -> None:
+    """Forked casualty of the SIGKILL test: trains with a checkpoint after
+    every step until killed from outside at an arbitrary point."""
+    loader = _elastic_loader(images, labels)
+    with ElasticTrainer(num_workers=2, config=_ELASTIC_CFG, micro_shards=4,
+                        seed=0, step_timeout_s=30.0, checkpoint_dir=ckpt_dir,
+                        checkpoint_every=1, keep_checkpoints=100) as trainer:
+        trainer.fit(loader, epochs=3)
+
+
+@fork_only
+class TestTrainingChaos:
+    def _run(self, split, workers: int, epochs: int = 2, **kwargs):
+        kwargs.setdefault("step_timeout_s", 30.0)
+        train, _ = split
+        loader = _elastic_loader(train.images, train.labels)
+        with ElasticTrainer(num_workers=workers, config=_ELASTIC_CFG,
+                            micro_shards=4, seed=0, **kwargs) as trainer:
+            history = trainer.fit(loader, epochs=epochs)
+            return list(history.losses), trainer.weights_digest(), trainer.stats()
+
+    def test_kill_one_of_four_mid_epoch_matches_three_worker_run(self, tiny_split):
+        """Losing 1 of 4 workers mid-epoch must complete on the 3 survivors
+        with no hang and no lost batch: losses and final weights are
+        bit-identical to a run that had 3 workers all along."""
+        before = _segments()
+        configure_faults({"trainer_worker_crash": FaultSpec(times=1)})
+        start = time.monotonic()
+        losses, digest, stats = self._run(tiny_split, 4, auto_respawn=False)
+        assert time.monotonic() - start < 60.0  # deadline-bounded, not wedged
+        assert stats["ring_rebuilds"] >= 1
+        assert stats["live_workers"] == 3
+        assert fault_stats()["trainer_worker_crash"]["fired"] == 1
+        reset_faults()
+        clean_losses, clean_digest, clean_stats = self._run(tiny_split, 3)
+        assert clean_stats["ring_rebuilds"] == 0
+        assert losses == clean_losses
+        assert digest == clean_digest
+        assert _segments() == before
+
+    def test_worker_crash_with_respawn_grows_back_bit_identical(self, tiny_split):
+        configure_faults({"trainer_worker_crash": FaultSpec(times=1)})
+        losses, digest, stats = self._run(tiny_split, 2)  # auto_respawn on
+        assert stats["ring_rebuilds"] >= 1
+        assert stats["worker_respawns"] >= 1
+        assert stats["live_workers"] == 2  # grown back to target
+        reset_faults()
+        clean_losses, clean_digest, _ = self._run(tiny_split, 2)
+        assert losses == clean_losses
+        assert digest == clean_digest
+
+    def test_allreduce_stall_is_evicted_not_waited_out(self, tiny_split):
+        """A worker sleeping 600 s inside the gradient fold is evicted after
+        the per-hop deadline and the step re-runs on the survivors."""
+        configure_faults({"allreduce_stall": FaultSpec(times=1, param=600.0)})
+        start = time.monotonic()
+        losses, digest, stats = self._run(tiny_split, 3, step_timeout_s=1.5)
+        assert time.monotonic() - start < 60.0
+        assert stats["ring_rebuilds"] >= 1
+        reset_faults()
+        clean_losses, clean_digest, _ = self._run(tiny_split, 3)
+        assert losses == clean_losses
+        assert digest == clean_digest
+
+    def test_sigkill_then_resume_is_bit_identical(self, tiny_split, tmp_path):
+        """The acceptance gate: SIGKILL the whole training process at an
+        arbitrary step, resume from the newest checkpoint in a fresh
+        process, and the remaining epochs' losses and the final weights
+        must equal the uninterrupted run bit-for-bit."""
+        train, _ = tiny_split
+        ref_losses, ref_digest, _ = self._run(tiny_split, 2, epochs=3)
+
+        before = set(_segments())
+        ctx = mp.get_context("fork")
+        victim = ctx.Process(target=_elastic_victim,
+                             args=(train.images, train.labels, str(tmp_path)))
+        victim.start()
+        assert _wait_until(lambda: len(latest_checkpoints(tmp_path)) >= 1,
+                           timeout_s=60.0)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(10.0)
+        assert victim.exitcode == -signal.SIGKILL
+        # The killed process never ran its cleanup: reap the scratch segments
+        # it leaked (crash safety is about the checkpoints, not the arenas).
+        for name in set(_segments()) - before:
+            try:
+                os.unlink(os.path.join("/dev/shm", name))
+            except OSError:  # pragma: no cover - raced with tracker
+                pass
+
+        loader = _elastic_loader(train.images, train.labels)
+        with ElasticTrainer(num_workers=2, config=_ELASTIC_CFG, micro_shards=4,
+                            seed=0, step_timeout_s=30.0,
+                            checkpoint_dir=str(tmp_path), checkpoint_every=1,
+                            keep_checkpoints=100) as trainer:
+            resumed = trainer.fit(loader, epochs=3, resume=True)
+            assert trainer.resumes == 1
+            assert list(resumed.losses) == ref_losses
+            assert trainer.weights_digest() == ref_digest
+
+    def test_corrupt_checkpoint_falls_back_to_older_archive(self, tiny_split, tmp_path):
+        train, _ = tiny_split
+        final_losses, final_digest, _ = self._run(
+            tiny_split, 2, checkpoint_dir=str(tmp_path), checkpoint_every=1,
+            keep_checkpoints=100)
+        ckpts = latest_checkpoints(tmp_path)
+        assert len(ckpts) >= 2
+        with open(ckpts[0], "r+b") as fh:  # tear the newest archive
+            fh.truncate(max(1, os.path.getsize(ckpts[0]) // 2))
+        model = UNet(_ELASTIC_CFG)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(model, Adam(model.parameters(), lr=1e-3), ckpts[0])
+
+        loader = _elastic_loader(train.images, train.labels)
+        with ElasticTrainer(num_workers=2, config=_ELASTIC_CFG, micro_shards=4,
+                            seed=0, step_timeout_s=30.0,
+                            checkpoint_dir=str(tmp_path)) as trainer:
+            resumed = trainer.fit(loader, epochs=2, resume=True)
+            assert trainer.resumes == 1
+            assert list(resumed.losses) == final_losses
+            assert trainer.weights_digest() == final_digest
+
+    def test_ckpt_corrupt_write_fault_yields_rejected_archive(self, tmp_path, tiny_split):
+        """The torn-write fault must reach the *final* checkpoint name and be
+        rejected at load time — exactly what a crash mid-write looks like."""
+        train, _ = tiny_split
+        configure_faults({"ckpt_corrupt_write": FaultSpec(times=1)})
+        loader = _elastic_loader(train.images, train.labels)
+        with ElasticTrainer(num_workers=1, config=_ELASTIC_CFG, micro_shards=2,
+                            seed=0, checkpoint_dir=str(tmp_path),
+                            checkpoint_every=1, keep_checkpoints=100) as trainer:
+            trainer.fit(loader, epochs=1)
+        assert fault_stats()["ckpt_corrupt_write"]["fired"] == 1
+        reset_faults()
+        ckpts = latest_checkpoints(tmp_path)
+        assert ckpts
+        torn = ckpts[-1]  # the first write of the run was the torn one
+        model = UNet(_ELASTIC_CFG)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(model, Adam(model.parameters(), lr=1e-3), torn)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -12,16 +15,33 @@ from repro.distributed import (
     DGXTrainingModel,
     DataParallelTrainer,
     DistributedOptimizer,
+    ElasticTrainer,
     PipeRingAllReducer,
+    RingBroken,
     ShardedBatches,
     WorkerGroup,
     broadcast_parameters,
+    latest_checkpoints,
     naive_allreduce,
     paper_table3,
     ring_allreduce,
 )
 from repro.nn import SGD
+from repro.reliability import FaultSpec, configure_faults, reset_faults
 from repro.unet import UNet, UNetConfig, UNetTrainer
+
+fork_only = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="fork start method unavailable"
+)
+
+#: Tiny elastic-trainer config shared by the elastic tests below.
+ELASTIC_CONFIG = UNetConfig(depth=2, base_channels=4, dropout=0.2, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    yield
+    reset_faults()
 
 
 class TestRingAllReduce:
@@ -95,6 +115,34 @@ class TestRingAllReduce:
         with pytest.raises(ValueError):
             PipeRingAllReducer(2).allreduce([np.ones(3)])
 
+    def test_pipe_ring_large_buffers_do_not_deadlock(self):
+        """Chunks bigger than the OS pipe capacity used to wedge every worker
+        in send(); the rank-0 recv-first schedule must keep the ring moving."""
+        rng = np.random.default_rng(6)
+        buffers = [rng.normal(size=(150_000,)) for _ in range(3)]
+        results = PipeRingAllReducer(3, timeout_s=30.0).allreduce(buffers)
+        expected = np.mean(buffers, axis=0)
+        for out in results:
+            np.testing.assert_allclose(out, expected, rtol=1e-9)
+
+    def test_ring_broken_carries_rank(self):
+        err = RingBroken(2)
+        assert err.rank == 2
+        assert "rank 2" in str(err)
+        assert isinstance(err, RuntimeError)
+
+    @fork_only
+    def test_pipe_ring_stall_raises_ring_broken(self):
+        """A stalled worker must surface as RingBroken (with the failing rank)
+        within the deadline — the pre-fix behaviour was an indefinite hang on
+        the neighbour's blocking recv."""
+        configure_faults({"allreduce_stall": FaultSpec(times=1, param=600.0)})
+        reducer = PipeRingAllReducer(3, start_method="fork", timeout_s=1.5)
+        buffers = [np.ones(8) * r for r in range(3)]
+        with pytest.raises(RingBroken) as excinfo:
+            reducer.allreduce(buffers)
+        assert excinfo.value.rank in range(3)
+
 
 class TestHorovodAPI:
     def test_worker_group_init(self):
@@ -139,6 +187,17 @@ class TestHorovodAPI:
         broadcast_parameters(src, [dst])
         for a, b in zip(src.parameters(), dst.parameters()):
             np.testing.assert_array_equal(a.value, b.value)
+
+    def test_worker_group_resize(self):
+        group = WorkerGroup.init(4)
+        group.resize(4)  # same size: no-op, not a rebuild
+        assert group.size == 4 and group.resizes == 0
+        group.resize(2)
+        assert group.size == 2 and group.resizes == 1
+        group.resize(6)
+        assert group.size == 6 and group.resizes == 2
+        with pytest.raises(ValueError):
+            group.resize(0)
 
 
 class TestDataParallelTrainer:
@@ -194,6 +253,36 @@ class TestDataParallelTrainer:
         with pytest.raises(ValueError):
             DataParallelTrainer(num_workers=0)
 
+    def test_resize_workers_preserves_master(self):
+        trainer = DataParallelTrainer(
+            num_workers=4, config=UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=5)
+        )
+        before = [p.value.copy() for p in trainer.master.parameters()]
+        trainer.resize_workers(2)
+        assert trainer.num_workers == 2
+        assert trainer.group.size == 2 and trainer.group.resizes == 1
+        for b, p in zip(before, trainer.master.parameters()):
+            np.testing.assert_array_equal(b, p.value)
+        # A batch too small for 4 workers now trains on 2.
+        x = np.zeros((2, 3, 16, 16), dtype=np.float32)
+        y = np.zeros((2, 16, 16), dtype=np.int64)
+        assert trainer.train_step(x, y) is not None
+        with pytest.raises(ValueError):
+            trainer.resize_workers(0)
+
+    def test_checkpoint_roundtrip_with_extra_state(self, tmp_path):
+        config = UNetConfig(depth=1, base_channels=2, dropout=0.0, seed=5)
+        trainer = DataParallelTrainer(num_workers=2, config=config)
+        x = np.zeros((4, 3, 16, 16), dtype=np.float32)
+        y = np.zeros((4, 16, 16), dtype=np.int64)
+        trainer.train_step(x, y)
+        path = trainer.save_checkpoint(tmp_path / "ckpt", extra_state={"epoch": 3})
+        restored = DataParallelTrainer(num_workers=2, config=config, keep_replicas=True)
+        assert restored.load_checkpoint(path) == {"epoch": 3}
+        for a, b in zip(trainer.master.parameters(), restored.master.parameters()):
+            np.testing.assert_array_equal(a.value, b.value)
+        assert restored.replicas_synchronised()
+
 
 class TestDGXModel:
     def test_default_calibration_matches_paper(self):
@@ -241,3 +330,126 @@ class TestDGXModel:
             DGXTrainingModel().epoch_time(0)
         with pytest.raises(ValueError):
             DGXTrainingModel.calibrated_from_measurement(0.0, 10, 10)
+
+
+# --------------------------------------------------------------------------- #
+# Elastic fault-tolerant trainer
+# --------------------------------------------------------------------------- #
+def _elastic_loader(split, seed: int = 5) -> BatchLoader:
+    train, _ = split
+    return BatchLoader(train.images, train.labels, batch_size=4,
+                       shuffle=True, augment=True, seed=seed)
+
+
+class TestLoaderRngState:
+    def test_rng_state_roundtrip_replays_exact_batches(self, tiny_split):
+        loader = _elastic_loader(tiny_split)
+        state = loader.rng_state()
+        first = [(x.copy(), y.copy()) for x, y in loader]
+        loader.set_rng_state(state)
+        second = [(x.copy(), y.copy()) for x, y in loader]
+        assert len(first) == len(second) > 0
+        for (xa, ya), (xb, yb) in zip(first, second):
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_rng_state_is_json_serialisable(self, tiny_split):
+        import json
+
+        loader = _elastic_loader(tiny_split)
+        encoded = json.loads(json.dumps(loader.rng_state()))
+        loader.set_rng_state(encoded)
+        assert len(list(loader)) > 0
+
+
+@fork_only
+class TestElasticTrainer:
+    def test_bit_identical_across_worker_counts(self, tiny_split):
+        """The left-fold over a fixed micro-shard count must make the
+        trajectory independent of the fleet size — the property that makes
+        elastic shrink/grow trajectory-preserving."""
+        results = {}
+        for workers in (1, 3):
+            loader = _elastic_loader(tiny_split)
+            with ElasticTrainer(num_workers=workers, config=ELASTIC_CONFIG,
+                                micro_shards=4, seed=0, step_timeout_s=30.0) as trainer:
+                history = trainer.fit(loader, epochs=2)
+                results[workers] = (list(history.losses), trainer.weights_digest())
+        assert results[1][0] == results[3][0]
+        assert results[1][1] == results[3][1]
+
+    def test_checkpoint_resume_bit_identical(self, tiny_split, tmp_path):
+        """SIGKILL-and-resume semantics: a fresh trainer resuming from the
+        newest checkpoint must reproduce the uninterrupted run bit-for-bit
+        (losses and weights), including the loader's shuffle/augment draws."""
+        loader = _elastic_loader(tiny_split)
+        with ElasticTrainer(num_workers=2, config=ELASTIC_CONFIG, micro_shards=4,
+                            seed=0, step_timeout_s=30.0) as trainer:
+            reference = trainer.fit(loader, epochs=3)
+            ref_losses = list(reference.losses)
+            ref_digest = trainer.weights_digest()
+
+        loader = _elastic_loader(tiny_split)
+        with ElasticTrainer(num_workers=2, config=ELASTIC_CONFIG, micro_shards=4,
+                            seed=0, step_timeout_s=30.0,
+                            checkpoint_dir=tmp_path, checkpoint_every=1) as trainer:
+            trainer.fit(loader, epochs=1)
+        assert latest_checkpoints(tmp_path)
+
+        loader = _elastic_loader(tiny_split)  # fresh process-equivalent state
+        with ElasticTrainer(num_workers=2, config=ELASTIC_CONFIG, micro_shards=4,
+                            seed=0, step_timeout_s=30.0,
+                            checkpoint_dir=tmp_path, checkpoint_every=1) as trainer:
+            resumed = trainer.fit(loader, epochs=3, resume=True)
+            assert trainer.resumes == 1
+            assert list(resumed.losses) == ref_losses
+            assert trainer.weights_digest() == ref_digest
+
+    def test_resume_without_checkpoints_starts_fresh(self, tiny_split, tmp_path):
+        loader = _elastic_loader(tiny_split)
+        with ElasticTrainer(num_workers=1, config=ELASTIC_CONFIG, micro_shards=2,
+                            seed=0, checkpoint_dir=tmp_path) as trainer:
+            history = trainer.fit(loader, epochs=1, resume=True)
+            assert trainer.resumes == 0
+            assert len(history.losses) == 1
+
+    def test_keep_checkpoints_prunes_old_archives(self, tiny_split, tmp_path):
+        loader = _elastic_loader(tiny_split)
+        with ElasticTrainer(num_workers=1, config=ELASTIC_CONFIG, micro_shards=2,
+                            seed=0, checkpoint_dir=tmp_path, checkpoint_every=1,
+                            keep_checkpoints=2) as trainer:
+            trainer.fit(loader, epochs=3)
+        assert len(latest_checkpoints(tmp_path)) == 2
+
+    def test_stats_surface(self, tiny_split):
+        loader = _elastic_loader(tiny_split)
+        with ElasticTrainer(num_workers=2, config=ELASTIC_CONFIG, micro_shards=2,
+                            seed=0) as trainer:
+            trainer.fit(loader, epochs=1)
+            stats = trainer.stats()
+            assert stats["global_step"] >= 1
+            assert stats["live_workers"] == stats["target_workers"] == 2
+            assert stats["ring_rebuilds"] == 0 and stats["resumes"] == 0
+            assert len(stats["weights_digest"]) == 64
+            assert trainer.ping()  # every worker answers the heartbeat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticTrainer(num_workers=0)
+        with pytest.raises(ValueError):
+            ElasticTrainer(num_workers=2, micro_shards=0)
+        with pytest.raises(ValueError):
+            ElasticTrainer(num_workers=2, start_method="spawn")
+
+
+class TestLatestCheckpoints:
+    def test_orders_newest_first_and_ignores_strangers(self, tmp_path):
+        for name in ("ckpt-00000002.npz", "ckpt-00000010.npz", "ckpt-00000001.npz",
+                     "weights.npz", "ckpt-123.npz", "notes.txt"):
+            (tmp_path / name).write_bytes(b"x")
+        found = latest_checkpoints(tmp_path)
+        assert [os.path.basename(p) for p in found] == [
+            "ckpt-00000010.npz", "ckpt-00000002.npz", "ckpt-00000001.npz"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert latest_checkpoints(tmp_path / "nope") == []

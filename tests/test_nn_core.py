@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.nn import (
     Adam,
     CategoricalCrossEntropy,
+    CheckpointError,
     Conv2D,
     Module,
     Parameter,
@@ -316,5 +319,26 @@ class TestSerialization:
     def test_load_checkpoint_rejects_weights_only_archive(self, tmp_path):
         model = Sequential(Conv2D(1, 1))
         path = save_weights(model, tmp_path / "weights")
-        with pytest.raises(KeyError):
+        with pytest.raises(CheckpointError):
             load_checkpoint(model, Adam(model.parameters(), lr=0.1), path)
+
+    def test_load_checkpoint_rejects_truncated_archive(self, tmp_path):
+        """A torn write (crash mid-checkpoint) must surface as CheckpointError,
+        not leak zipfile/KeyError internals to the resume logic."""
+        model = Sequential(Conv2D(1, 2, seed=0))
+        opt = Adam(model.parameters(), lr=1e-2)
+        path = save_checkpoint(model, opt, tmp_path / "ckpt")
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, os.path.getsize(path) // 2))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(model, opt, path)
+
+    def test_checkpoint_extra_state_roundtrip(self, tmp_path):
+        model = Sequential(Conv2D(1, 1, seed=0))
+        opt = Adam(model.parameters(), lr=1e-2)
+        extra = {"epoch": 3, "cursor": [1, 2], "nested": {"rng": "state"}}
+        path = save_checkpoint(model, opt, tmp_path / "ckpt", extra_state=extra)
+        assert load_checkpoint(model, opt, path) == extra
+        # Archives without extra state load as an empty dict.
+        plain = save_checkpoint(model, opt, tmp_path / "plain")
+        assert load_checkpoint(model, opt, plain) == {}
